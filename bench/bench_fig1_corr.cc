@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates Fig. 1 of the paper: the coRR read-read coherence test
+ * (intra-CTA, global memory), observed per 100k runs across the
+ * seven result chips. Fermi and Kepler exhibit the violation; Maxwell
+ * and both AMD chips do not.
+ */
+
+#include "bench_util.h"
+#include "litmus/library.h"
+
+using namespace gpulitmus;
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 1 - PTX test for coherent reads (coRR)",
+        "init: global x=0; T0: st.cg [x],1 ||"
+        " T1: ld.cg r1,[x]; ld.cg r2,[x]; final: r1=1 /\\ r2=0;"
+        " threads: intra-CTA");
+
+    auto chips = benchutil::allResultChips();
+    litmus::Test test = litmus::paperlib::coRR();
+
+    Table table;
+    table.header(benchutil::chipHeader("obs/100k", chips));
+    benchutil::obsRows(table, "coRR", test, chips,
+                       {"11642", "8879", "9599", "9787", "0", "0",
+                        "0"},
+                       benchutil::config());
+    table.print(std::cout);
+    return 0;
+}

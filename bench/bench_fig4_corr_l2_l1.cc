@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Regenerates Fig. 4: coRR mixing cache operators (first load .cg
+ * from the L2, second load .ca from the L1), intra-CTA, swept over
+ * fence strengths.
+ *
+ * On the Tesla C2075 no fence guarantees that an updated value read
+ * from the L2 is subsequently read from the L1; on the GTX 540m a
+ * membar.cta is not enough (1934/100k) but membar.gl is.
+ */
+
+#include "bench_util.h"
+#include "litmus/library.h"
+
+using namespace gpulitmus;
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 4 - PTX coRR mixing cache operators (coRR-L2-L1)",
+        "init: global x=0; T0: st.cg [x],1 ||"
+        " T1: ld.cg r1,[x]; fence; ld.ca r2,[x];"
+        " final: r1=1 /\\ r2=0; threads: intra-CTA");
+
+    auto chips = benchutil::nvidiaChips();
+    Table table;
+    table.header(benchutil::chipHeader("fence", chips));
+
+    struct RowSpec
+    {
+        std::string label;
+        litmus::paperlib::FenceOpt fence;
+        std::vector<std::string> paper;
+    };
+    std::vector<RowSpec> rows = {
+        {"no-op", std::nullopt, {"2556", "2982", "2", "141", "0"}},
+        {"membar.cta", ptx::Scope::Cta,
+         {"1934", "2180", "0", "0", "0"}},
+        {"membar.gl", ptx::Scope::Gl, {"0", "1496", "0", "0", "0"}},
+        {"membar.sys", ptx::Scope::Sys, {"0", "1428", "0", "0", "0"}},
+    };
+
+    for (const auto &row : rows) {
+        benchutil::obsRows(table, row.label,
+                           litmus::paperlib::coRRL2L1(row.fence),
+                           chips, row.paper, benchutil::config());
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Regenerates Fig. 7: the dlb-mp test distilled (via the Tab. 5
+ * mapping) from the push/steal pair of the Cederman-Tsigas
+ * work-stealing deque. Without fences a steal can read a stale task,
+ * so the deque loses work; adding the (+) fences forbids it.
+ */
+
+#include "bench_util.h"
+#include "litmus/library.h"
+
+using namespace gpulitmus;
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 7 - PTX mp from load-balancing (dlb-mp)",
+        "init: global t=0, d=0; T0: push (write task, bump tail) ||"
+        " T1: steal (read tail, read task); final: r0=1 /\\ r1=0;"
+        " threads: inter-CTA");
+
+    auto chips = benchutil::allResultChips();
+    Table table;
+    table.header(benchutil::chipHeader("variant", chips));
+    benchutil::obsRows(table, "dlb-mp", litmus::paperlib::dlbMp(false),
+                       chips, {"0", "4", "36", "65", "0", "0", "0"},
+                       benchutil::config());
+    benchutil::obsRows(table, "dlb-mp+fences",
+                       litmus::paperlib::dlbMp(true), chips,
+                       {"0", "0", "0", "0", "0", "0", "0"},
+                       benchutil::config());
+    table.print(std::cout);
+    return 0;
+}

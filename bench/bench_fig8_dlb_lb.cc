@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Fig. 8: dlb-lb, the load-buffering bug of the
+ * Cederman-Tsigas deque (a steal can obtain a task pushed *after* the
+ * corresponding pop emptied the deque, losing a task).
+ *
+ * The HD6570 cell is "n/a": the TeraScale 2 OpenCL compiler reorders
+ * the steal's load past its CAS, a miscompilation that invalidates
+ * the test (Sec. 3.2.1); we reproduce it through the simulated AMD
+ * pipeline.
+ */
+
+#include "bench_util.h"
+#include "litmus/library.h"
+#include "opt/amd.h"
+
+using namespace gpulitmus;
+
+namespace {
+
+std::string
+amdCell(const sim::ChipProfile &chip, const litmus::Test &test,
+        const harness::RunConfig &cfg)
+{
+    opt::AmdCompileResult compiled = opt::amdCompile(test, chip);
+    if (compiled.miscompiled)
+        return "n/a";
+    return std::to_string(
+        harness::observePer100k(chip, compiled.compiled, cfg));
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 8 - PTX lb from load-balancing (dlb-lb)",
+        "init: global t=0, h=0; T0: atom.cas r0,[h],0,1; [fence;]"
+        " st.cg [t],1 || T1: ld.cg r1,[t]; [fence;]"
+        " atom.cas r3,[h],0,1; final: r0=1 /\\ r1=1;"
+        " threads: inter-CTA");
+
+    auto cfg = benchutil::config();
+    auto chips = benchutil::allResultChips();
+    Table table;
+    table.header(benchutil::chipHeader("variant", chips));
+
+    for (bool fences : {false, true}) {
+        litmus::Test test = litmus::paperlib::dlbLb(fences);
+        std::vector<std::string> measured{std::string(test.name) +
+                                          " (sim)"};
+        for (const auto &chip : chips) {
+            if (chip.isAmd())
+                measured.push_back(amdCell(chip, test, cfg));
+            else
+                measured.push_back(std::to_string(
+                    harness::observePer100k(chip, test, cfg)));
+        }
+        table.row(measured);
+        if (!fences) {
+            table.row({"dlb-lb (paper)", "0", "750", "399", "2292",
+                       "0", "n/a", "13591"});
+        } else {
+            table.row({"dlb-lb+fences (paper)", "0", "0", "0", "0",
+                       "0", "n/a", "0"});
+        }
+    }
+    table.print(std::cout);
+
+    // Show the miscompilation evidence for the n/a cell.
+    auto bad = opt::amdCompile(litmus::paperlib::dlbLb(false),
+                               sim::chip("HD6570"));
+    std::cout << "\nHD6570 compile notes:\n";
+    for (const auto &q : bad.quirks)
+        std::cout << "  " << q << "\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the engines themselves: the
+ * simulator's iteration rate, the candidate-execution enumerator, the
+ * .cat evaluator, the generator and the relation algebra. These are
+ * the knobs that determine how far the Sec. 5.4 validation scales.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "axiom/enumerate.h"
+#include "cat/models.h"
+#include "common/rng.h"
+#include "gen/generator.h"
+#include "litmus/library.h"
+#include "model/checker.h"
+#include "sim/machine.h"
+
+using namespace gpulitmus;
+
+namespace {
+
+void
+BM_SimulatorIteration(benchmark::State &state)
+{
+    litmus::Test test = litmus::paperlib::mp();
+    sim::Machine machine(sim::chip("Titan"), test, {});
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.run(rng));
+}
+BENCHMARK(BM_SimulatorIteration);
+
+void
+BM_SimulatorIterationSpinLock(benchmark::State &state)
+{
+    litmus::Test test = litmus::paperlib::casSl(false);
+    sim::Machine machine(sim::chip("TesC"), test, {});
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(machine.run(rng));
+}
+BENCHMARK(BM_SimulatorIterationSpinLock);
+
+void
+BM_EnumerateExecutions(benchmark::State &state)
+{
+    litmus::Test test = litmus::paperlib::mp();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(axiom::enumerateExecutions(test));
+}
+BENCHMARK(BM_EnumerateExecutions);
+
+void
+BM_ModelCheckMp(benchmark::State &state)
+{
+    litmus::Test test = litmus::paperlib::mp();
+    model::Checker checker(cat::models::ptx());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checker.check(test));
+}
+BENCHMARK(BM_ModelCheckMp);
+
+void
+BM_CatEvaluate(benchmark::State &state)
+{
+    auto execs =
+        axiom::enumerateExecutions(litmus::paperlib::casSl(false));
+    const cat::Model &model = cat::models::ptx();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(execs[i++ % execs.size()]));
+    }
+}
+BENCHMARK(BM_CatEvaluate);
+
+void
+BM_GenerateTests(benchmark::State &state)
+{
+    gen::GeneratorOptions opts;
+    opts.maxEdges = 3;
+    opts.maxTests = 200;
+    auto pool = gen::defaultPool();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen::generate(pool, opts));
+}
+BENCHMARK(BM_GenerateTests);
+
+void
+BM_RelationClosure(benchmark::State &state)
+{
+    Rng rng(3);
+    axiom::Relation r(32);
+    for (int i = 0; i < 32; ++i)
+        for (int j = 0; j < 32; ++j)
+            if (rng.chance(0.1))
+                r.set(i, j);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(r.plus());
+}
+BENCHMARK(BM_RelationClosure);
+
+} // namespace
+
+BENCHMARK_MAIN();

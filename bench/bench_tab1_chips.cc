@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Regenerates Tab. 1 (the GPU chips tested) and Tab. 4 (compilers and
+ * drivers used) from the chip registry.
+ */
+
+#include "bench_util.h"
+
+using namespace gpulitmus;
+
+int
+main()
+{
+    benchutil::printHeader("Tab. 1 / Tab. 4 - chips, compilers and"
+                           " drivers",
+                           "the simulated chip registry");
+
+    Table tab1;
+    tab1.header({"vendor", "architecture", "chip", "short name",
+                 "year"});
+    for (const auto &c : sim::allChips()) {
+        tab1.row({c.vendor, c.arch, c.chipName, c.shortName,
+                  std::to_string(c.year)});
+    }
+    tab1.print(std::cout);
+
+    std::cout << "\nTab. 4 (result chips only):\n";
+    Table tab4;
+    tab4.header({"", "SDK", "driver", "options", "SMs"});
+    for (const auto &c : sim::resultChips()) {
+        tab4.row({c.shortName, c.sdk, c.driver, c.options,
+                  std::to_string(c.numSMs)});
+    }
+    tab4.print(std::cout);
+    return 0;
+}

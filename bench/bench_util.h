@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Shared plumbing for the benchmark binaries that regenerate the
+ * paper's tables and figures.
+ *
+ * Every binary prints (a) the simulated observation counts, and (b)
+ * the paper's published numbers for the same cell, so the shape can
+ * be compared at a glance. Iteration counts come from GPULITMUS_ITERS
+ * (default 100000, the paper's count); observations are normalised to
+ * obs/100k.
+ */
+
+#ifndef GPULITMUS_BENCH_BENCH_UTIL_H
+#define GPULITMUS_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/runner.h"
+#include "litmus/test.h"
+#include "sim/chip.h"
+
+namespace gpulitmus::benchutil {
+
+inline harness::RunConfig
+config()
+{
+    harness::RunConfig c;
+    c.iterations = harness::defaultIterations();
+    return c;
+}
+
+/** The five Nvidia chips of the paper's per-test rows. */
+inline std::vector<sim::ChipProfile>
+nvidiaChips()
+{
+    std::vector<sim::ChipProfile> out;
+    for (const auto &c : sim::resultChips()) {
+        if (c.isNvidia())
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** All seven result chips (Nvidia + AMD). */
+inline std::vector<sim::ChipProfile>
+allResultChips()
+{
+    return sim::resultChips();
+}
+
+inline void
+printHeader(const std::string &title, const std::string &what)
+{
+    std::cout << "=====================================================\n"
+              << title << "\n"
+              << what << "\n"
+              << "iterations/run: " << config().iterations
+              << " (set GPULITMUS_ITERS to change); all counts are"
+                 " normalised to obs/100k\n"
+              << "=====================================================\n";
+}
+
+/** Append measured and paper rows for one test configuration. */
+inline void
+obsRows(Table &table, const std::string &label,
+        const litmus::Test &test,
+        const std::vector<sim::ChipProfile> &chips,
+        const std::vector<std::string> &paper,
+        const harness::RunConfig &cfg)
+{
+    std::vector<std::string> measured{label + " (sim)"};
+    for (const auto &chip : chips) {
+        measured.push_back(
+            std::to_string(harness::observePer100k(chip, test, cfg)));
+    }
+    table.row(measured);
+    std::vector<std::string> reference{label + " (paper)"};
+    for (const auto &p : paper)
+        reference.push_back(p);
+    table.row(reference);
+}
+
+inline std::vector<std::string>
+chipHeader(const std::string &first,
+           const std::vector<sim::ChipProfile> &chips)
+{
+    std::vector<std::string> h{first};
+    for (const auto &c : chips)
+        h.push_back(c.shortName);
+    return h;
+}
+
+} // namespace gpulitmus::benchutil
+
+#endif // GPULITMUS_BENCH_BENCH_UTIL_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Audit of the Cederman-Tsigas work-stealing deque (Fig. 6 /
+ * Sec. 3.2.1, GPU Computing Gems): without fences the deque can lose
+ * tasks in two distinct ways — a steal reading a stale task slot
+ * (message passing, dlb-mp) and a steal racing a pop/push pair (load
+ * buffering, dlb-lb).
+ */
+
+#include <iostream>
+
+#include "cat/models.h"
+#include "cuda/apps.h"
+#include "cuda/snippets.h"
+#include "harness/runner.h"
+#include "model/checker.h"
+#include "opt/amd.h"
+
+using namespace gpulitmus;
+
+int
+main()
+{
+    std::cout << "Cederman-Tsigas deque (excerpt, original):\n"
+              << cuda::dequeSource(false) << "\n";
+
+    model::Checker checker(cat::models::ptx());
+    harness::RunConfig config;
+    config.iterations = harness::defaultIterations();
+
+    struct Case
+    {
+        const char *what;
+        litmus::Test test;
+    };
+    std::vector<Case> cases = {
+        {"dlb-mp: steal sees the pushed tail but reads a stale task",
+         cuda::distillDequeMp(false)},
+        {"dlb-mp with the (+) fences", cuda::distillDequeMp(true)},
+        {"dlb-lb: steal obtains the task of a *later* push",
+         cuda::distillDequeLb(false)},
+        {"dlb-lb with the (+) fences", cuda::distillDequeLb(true)},
+    };
+
+    for (const auto &c : cases) {
+        std::cout << "=== " << c.what << " ===\n";
+        std::cout << "PTX model: "
+                  << (checker.allows(c.test) ? "ALLOWED" : "FORBIDDEN")
+                  << "\n";
+        for (const char *chip : {"TesC", "GTX6", "Titan"}) {
+            std::cout << "  " << chip << ": "
+                      << harness::observePer100k(sim::chip(chip),
+                                                 c.test, config)
+                      << "/100k\n";
+        }
+        std::cout << "\n";
+    }
+
+    // The TeraScale 2 OpenCL compiler breaks the test in a different
+    // way: it reorders the steal's load past the CAS.
+    auto compiled = opt::amdCompile(cuda::distillDequeLb(false),
+                                    sim::chip("HD6570"));
+    std::cout << "OpenCL on Radeon HD 6570:\n";
+    for (const auto &q : compiled.quirks)
+        std::cout << "  " << q << "\n";
+
+    // Client view: how often would a work-stealing runtime lose a
+    // task?
+    uint64_t iters = std::max<uint64_t>(
+        1000, harness::defaultIterations() / 10);
+    std::cout << "\nwork-stealing client on simulated GTX Titan ("
+              << iters << " push/steal races):\n";
+    for (bool fences : {false, true}) {
+        cuda::AppResult r =
+            cuda::runWorkStealing(sim::chip("Titan"), fences, iters);
+        std::cout << "  " << (fences ? "with fences:   "
+                                     : "without fences:")
+                  << " " << r.wrong << " tasks lost\n";
+    }
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Memory events of candidate executions (Sec. 5.1.1 of the paper).
+ *
+ * Loads give rise to read events, stores to write events, membar to
+ * fence events, and atomics to a read-write pair linked by rmwPartner.
+ * Initial values are materialised as init write events with tid -1,
+ * which "hit the memory before any update" (Sec. 5.1.1).
+ */
+
+#ifndef GPULITMUS_AXIOM_EVENT_H
+#define GPULITMUS_AXIOM_EVENT_H
+
+#include <cstdint>
+#include <string>
+
+#include "ptx/types.h"
+
+namespace gpulitmus::axiom {
+
+struct Event
+{
+    enum class Kind { Read, Write, Fence };
+
+    int id = -1;       ///< dense index in the execution
+    int tid = -1;      ///< issuing thread; -1 for init writes
+    int poIndex = -1;  ///< position in the thread's program order
+    Kind kind = Kind::Read;
+
+    std::string loc;   ///< memory location (empty for fences)
+    int64_t value = 0; ///< value read or written
+
+    ptx::Scope fenceScope = ptx::Scope::Cta; ///< for fences
+    ptx::CacheOp cacheOp = ptx::CacheOp::None;
+    bool isVolatile = false;
+    bool isAtomic = false;
+    int rmwPartner = -1; ///< paired event id for atomics, else -1
+
+    int instrIdx = -1; ///< index of the originating instruction
+
+    bool isRead() const { return kind == Kind::Read; }
+    bool isWrite() const { return kind == Kind::Write; }
+    bool isFence() const { return kind == Kind::Fence; }
+    bool isInit() const { return tid < 0; }
+
+    /** Short label for graphs, e.g. "a: W.cg x=1". */
+    std::string str() const;
+};
+
+} // namespace gpulitmus::axiom
+
+#endif // GPULITMUS_AXIOM_EVENT_H

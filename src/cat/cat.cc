@@ -1,0 +1,664 @@
+#include "cat/cat.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace gpulitmus::cat {
+
+using axiom::EventSet;
+using axiom::Execution;
+using axiom::Relation;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class Tok {
+    Ident,
+    Let,
+    Acyclic,
+    Irreflexive,
+    Empty,
+    As,
+    Eq,
+    Bar,
+    Amp,
+    Backslash,
+    Semi,
+    Plus,
+    Star,
+    Question,
+    Inverse, // ^-1
+    LParen,
+    RParen,
+    Comma,
+    End,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;
+    int line = 1;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &src) : src_(src) { advance(); }
+
+    const Token &peek() const { return tok_; }
+
+    Token
+    take()
+    {
+        Token t = tok_;
+        advance();
+        return t;
+    }
+
+    bool
+    takeIf(Tok kind)
+    {
+        if (tok_.kind == kind) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    void
+    advance()
+    {
+        skipTrivia();
+        tok_.line = line_;
+        if (pos_ >= src_.size()) {
+            tok_ = Token{Tok::End, "", line_};
+            return;
+        }
+        char c = src_[pos_];
+        auto simple = [&](Tok k, const char *text, size_t len) {
+            tok_ = Token{k, text, line_};
+            pos_ += len;
+        };
+        switch (c) {
+          case '|': return simple(Tok::Bar, "|", 1);
+          case '&': return simple(Tok::Amp, "&", 1);
+          case '\\': return simple(Tok::Backslash, "\\", 1);
+          case ';': return simple(Tok::Semi, ";", 1);
+          case '+': return simple(Tok::Plus, "+", 1);
+          case '*': return simple(Tok::Star, "*", 1);
+          case '?': return simple(Tok::Question, "?", 1);
+          case '(': return simple(Tok::LParen, "(", 1);
+          case ')': return simple(Tok::RParen, ")", 1);
+          case ',': return simple(Tok::Comma, ",", 1);
+          case '=': return simple(Tok::Eq, "=", 1);
+          case '^':
+            if (src_.compare(pos_, 3, "^-1") == 0)
+                return simple(Tok::Inverse, "^-1", 3);
+            break;
+          default:
+            break;
+        }
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = pos_;
+            while (pos_ < src_.size()) {
+                char d = src_[pos_];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '_' || d == '.' ||
+                    (d == '-' &&
+                     pos_ + 1 < src_.size() &&
+                     (std::isalnum(static_cast<unsigned char>(
+                          src_[pos_ + 1])) ||
+                      src_[pos_ + 1] == '_'))) {
+                    ++pos_;
+                } else {
+                    break;
+                }
+            }
+            std::string word = src_.substr(start, pos_ - start);
+            if (word == "let")
+                tok_ = Token{Tok::Let, word, line_};
+            else if (word == "acyclic")
+                tok_ = Token{Tok::Acyclic, word, line_};
+            else if (word == "irreflexive")
+                tok_ = Token{Tok::Irreflexive, word, line_};
+            else if (word == "empty")
+                tok_ = Token{Tok::Empty, word, line_};
+            else if (word == "as")
+                tok_ = Token{Tok::As, word, line_};
+            else
+                tok_ = Token{Tok::Ident, word, line_};
+            return;
+        }
+        // Unknown character: surface as an Ident token the parser
+        // will reject with a line number.
+        tok_ = Token{Tok::Ident, std::string(1, c), line_};
+        ++pos_;
+    }
+
+    void
+    skipTrivia()
+    {
+        for (;;) {
+            if (pos_ >= src_.size())
+                return;
+            char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (src_.compare(pos_, 2, "//") == 0) {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else if (src_.compare(pos_, 2, "(*") == 0) {
+                pos_ += 2;
+                while (pos_ < src_.size() &&
+                       src_.compare(pos_, 2, "*)") != 0) {
+                    if (src_[pos_] == '\n')
+                        ++line_;
+                    ++pos_;
+                }
+                pos_ += 2;
+            } else {
+                return;
+            }
+        }
+    }
+
+    const std::string &src_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    Token tok_;
+};
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr
+{
+    enum class Kind {
+        Name,
+        Union,
+        Inter,
+        Diff,
+        Seq,
+        Plus,
+        Star,
+        Maybe,
+        Inverse,
+        App,
+    };
+
+    Kind kind;
+    std::string name;           // Name / App callee
+    std::vector<ExprPtr> args;  // App arguments
+    ExprPtr lhs, rhs;           // binary / unary (lhs only)
+    int line = 0;
+};
+
+enum class CheckKind { Acyclic, Irreflexive, Empty };
+
+struct Stmt
+{
+    enum class Kind { Let, Check };
+
+    Kind kind;
+    // Let
+    std::string name;
+    std::vector<std::string> params;
+    // Check
+    CheckKind check = CheckKind::Acyclic;
+    std::string checkName;
+
+    ExprPtr expr;
+    int line = 0;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src) : lex_(src) {}
+
+    std::optional<std::vector<Stmt>>
+    parse(CatError *error)
+    {
+        std::vector<Stmt> stmts;
+        while (lex_.peek().kind != Tok::End) {
+            auto s = parseStmt();
+            if (!s) {
+                if (error)
+                    *error = err_;
+                return std::nullopt;
+            }
+            stmts.push_back(std::move(*s));
+        }
+        return stmts;
+    }
+
+  private:
+    std::nullopt_t
+    fail(const std::string &msg)
+    {
+        if (err_.message.empty()) {
+            err_.message = msg;
+            err_.line = lex_.peek().line;
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Stmt>
+    parseStmt()
+    {
+        const Token &t = lex_.peek();
+        if (t.kind == Tok::Let)
+            return parseLet();
+        if (t.kind == Tok::Acyclic || t.kind == Tok::Irreflexive ||
+            t.kind == Tok::Empty)
+            return parseCheck();
+        return fail("expected 'let' or a check, got '" + t.text + "'");
+    }
+
+    std::optional<Stmt>
+    parseLet()
+    {
+        Stmt s;
+        s.kind = Stmt::Kind::Let;
+        s.line = lex_.peek().line;
+        lex_.take(); // let
+        if (lex_.peek().kind != Tok::Ident)
+            return fail("expected name after 'let'");
+        s.name = lex_.take().text;
+        if (lex_.takeIf(Tok::LParen)) {
+            for (;;) {
+                if (lex_.peek().kind != Tok::Ident)
+                    return fail("expected parameter name");
+                s.params.push_back(lex_.take().text);
+                if (lex_.takeIf(Tok::Comma))
+                    continue;
+                if (lex_.takeIf(Tok::RParen))
+                    break;
+                return fail("expected ',' or ')' in parameter list");
+            }
+        }
+        if (!lex_.takeIf(Tok::Eq))
+            return fail("expected '=' in let");
+        auto e = parseExpr();
+        if (!e)
+            return std::nullopt;
+        s.expr = *e;
+        return s;
+    }
+
+    std::optional<Stmt>
+    parseCheck()
+    {
+        Stmt s;
+        s.kind = Stmt::Kind::Check;
+        s.line = lex_.peek().line;
+        Token t = lex_.take();
+        switch (t.kind) {
+          case Tok::Acyclic: s.check = CheckKind::Acyclic; break;
+          case Tok::Irreflexive: s.check = CheckKind::Irreflexive; break;
+          case Tok::Empty: s.check = CheckKind::Empty; break;
+          default: panic("unreachable");
+        }
+        auto e = parseExpr();
+        if (!e)
+            return std::nullopt;
+        s.expr = *e;
+        if (lex_.takeIf(Tok::As)) {
+            if (lex_.peek().kind != Tok::Ident)
+                return fail("expected name after 'as'");
+            s.checkName = lex_.take().text;
+        } else {
+            s.checkName = t.text;
+        }
+        return s;
+    }
+
+    // Precedence (loosest to tightest): | then & then \ then ;
+    std::optional<ExprPtr>
+    parseExpr()
+    {
+        return parseBinary(0);
+    }
+
+    std::optional<ExprPtr>
+    parseBinary(int level)
+    {
+        static const Tok ops[] = {Tok::Bar, Tok::Amp, Tok::Backslash,
+                                  Tok::Semi};
+        static const Expr::Kind kinds[] = {
+            Expr::Kind::Union, Expr::Kind::Inter, Expr::Kind::Diff,
+            Expr::Kind::Seq};
+        if (level == 4)
+            return parsePostfix();
+        auto lhs = parseBinary(level + 1);
+        if (!lhs)
+            return std::nullopt;
+        while (lex_.peek().kind == ops[level]) {
+            int line = lex_.take().line;
+            auto rhs = parseBinary(level + 1);
+            if (!rhs)
+                return std::nullopt;
+            auto e = std::make_shared<Expr>();
+            e->kind = kinds[level];
+            e->lhs = *lhs;
+            e->rhs = *rhs;
+            e->line = line;
+            lhs = e;
+        }
+        return lhs;
+    }
+
+    std::optional<ExprPtr>
+    parsePostfix()
+    {
+        auto base = parseAtom();
+        if (!base)
+            return std::nullopt;
+        for (;;) {
+            Expr::Kind k;
+            if (lex_.peek().kind == Tok::Plus)
+                k = Expr::Kind::Plus;
+            else if (lex_.peek().kind == Tok::Star)
+                k = Expr::Kind::Star;
+            else if (lex_.peek().kind == Tok::Question)
+                k = Expr::Kind::Maybe;
+            else if (lex_.peek().kind == Tok::Inverse)
+                k = Expr::Kind::Inverse;
+            else
+                break;
+            int line = lex_.take().line;
+            auto e = std::make_shared<Expr>();
+            e->kind = k;
+            e->lhs = *base;
+            e->line = line;
+            base = ExprPtr(e);
+        }
+        return base;
+    }
+
+    std::optional<ExprPtr>
+    parseAtom()
+    {
+        const Token &t = lex_.peek();
+        if (t.kind == Tok::LParen) {
+            lex_.take();
+            auto inner = parseExpr();
+            if (!inner)
+                return std::nullopt;
+            if (!lex_.takeIf(Tok::RParen))
+                return fail("expected ')'");
+            return inner;
+        }
+        if (t.kind != Tok::Ident)
+            return fail("expected relation, got '" + t.text + "'");
+        Token name = lex_.take();
+        auto e = std::make_shared<Expr>();
+        e->name = name.text;
+        e->line = name.line;
+        if (lex_.takeIf(Tok::LParen)) {
+            e->kind = Expr::Kind::App;
+            for (;;) {
+                auto arg = parseExpr();
+                if (!arg)
+                    return std::nullopt;
+                e->args.push_back(*arg);
+                if (lex_.takeIf(Tok::Comma))
+                    continue;
+                if (lex_.takeIf(Tok::RParen))
+                    break;
+                return fail("expected ',' or ')' in arguments");
+            }
+        } else {
+            e->kind = Expr::Kind::Name;
+        }
+        return ExprPtr(e);
+    }
+
+    Lexer lex_;
+    CatError err_;
+};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------
+
+struct Model::Impl
+{
+    std::vector<Stmt> stmts;
+
+    struct Env
+    {
+        const Execution *ex = nullptr;
+        std::map<std::string, Relation> rels;
+        std::map<std::string, EventSet> sets;
+        std::map<std::string, const Stmt *> funcs;
+    };
+
+    Relation
+    eval(const ExprPtr &e, Env &env) const
+    {
+        switch (e->kind) {
+          case Expr::Kind::Name: {
+            auto it = env.rels.find(e->name);
+            if (it != env.rels.end())
+                return it->second;
+            fatal("cat: undefined relation '%s' (line %d)",
+                  e->name.c_str(), e->line);
+          }
+          case Expr::Kind::Union:
+            return eval(e->lhs, env) | eval(e->rhs, env);
+          case Expr::Kind::Inter:
+            return eval(e->lhs, env) & eval(e->rhs, env);
+          case Expr::Kind::Diff:
+            return eval(e->lhs, env).minus(eval(e->rhs, env));
+          case Expr::Kind::Seq:
+            return eval(e->lhs, env).seq(eval(e->rhs, env));
+          case Expr::Kind::Plus:
+            return eval(e->lhs, env).plus();
+          case Expr::Kind::Star:
+            return eval(e->lhs, env).star();
+          case Expr::Kind::Maybe:
+            return eval(e->lhs, env).maybe();
+          case Expr::Kind::Inverse:
+            return eval(e->lhs, env).inverse();
+          case Expr::Kind::App:
+            return apply(e, env);
+        }
+        panic("unreachable");
+    }
+
+    Relation
+    apply(const ExprPtr &e, Env &env) const
+    {
+        // Built-in event-class filters.
+        auto filter = [&](EventSet dom,
+                          EventSet rng) -> Relation {
+            if (e->args.size() != 1)
+                fatal("cat: filter '%s' takes one argument (line %d)",
+                      e->name.c_str(), e->line);
+            return eval(e->args[0], env).restrict(dom, rng);
+        };
+        EventSet r_set = env.sets.at("R");
+        EventSet w_set = env.sets.at("W");
+        if (e->name == "WW")
+            return filter(w_set, w_set);
+        if (e->name == "WR")
+            return filter(w_set, r_set);
+        if (e->name == "RW")
+            return filter(r_set, w_set);
+        if (e->name == "RR")
+            return filter(r_set, r_set);
+
+        auto it = env.funcs.find(e->name);
+        if (it == env.funcs.end())
+            fatal("cat: undefined function '%s' (line %d)",
+                  e->name.c_str(), e->line);
+        const Stmt *def = it->second;
+        if (def->params.size() != e->args.size())
+            fatal("cat: '%s' expects %zu arguments, got %zu (line %d)",
+                  e->name.c_str(), def->params.size(), e->args.size(),
+                  e->line);
+        // Evaluate arguments, bind, evaluate body, restore.
+        std::vector<std::pair<std::string, std::optional<Relation>>>
+            saved;
+        for (size_t i = 0; i < def->params.size(); ++i) {
+            Relation arg = eval(e->args[i], env);
+            auto old = env.rels.find(def->params[i]);
+            saved.emplace_back(def->params[i],
+                               old == env.rels.end()
+                                   ? std::nullopt
+                                   : std::optional<Relation>(
+                                         old->second));
+            env.rels[def->params[i]] = std::move(arg);
+        }
+        Relation result = eval(def->expr, env);
+        for (auto &[name, old] : saved) {
+            if (old)
+                env.rels[name] = std::move(*old);
+            else
+                env.rels.erase(name);
+        }
+        return result;
+    }
+
+    Env
+    baseEnv(const Execution &ex) const
+    {
+        Env env;
+        env.ex = &ex;
+        env.rels = ex.relationEnv();
+        env.sets = ex.setEnv();
+        return env;
+    }
+};
+
+std::string
+ModelResult::firstFailure() const
+{
+    for (const auto &c : checks) {
+        if (!c.passed)
+            return c.name;
+    }
+    return "";
+}
+
+std::optional<Model>
+Model::parse(const std::string &source, const std::string &name,
+             CatError *error)
+{
+    Parser parser(source);
+    auto stmts = parser.parse(error);
+    if (!stmts)
+        return std::nullopt;
+    Model m;
+    auto impl = std::make_shared<Impl>();
+    impl->stmts = std::move(*stmts);
+    m.impl_ = std::move(impl);
+    m.name_ = name;
+    return m;
+}
+
+Model
+Model::parseOrDie(const std::string &source, const std::string &name)
+{
+    CatError err;
+    auto m = parse(source, name, &err);
+    if (!m)
+        fatal("cat model '%s': %s (line %d)", name.c_str(),
+              err.message.c_str(), err.line);
+    return *m;
+}
+
+ModelResult
+Model::evaluate(const axiom::Execution &ex) const
+{
+    Impl::Env env = impl_->baseEnv(ex);
+    ModelResult result;
+    result.allowed = true;
+    for (const auto &s : impl_->stmts) {
+        if (s.kind == Stmt::Kind::Let) {
+            if (s.params.empty())
+                env.rels[s.name] = impl_->eval(s.expr, env);
+            else
+                env.funcs[s.name] = &s;
+            continue;
+        }
+        Relation r = impl_->eval(s.expr, env);
+        CheckResult cr;
+        cr.name = s.checkName;
+        switch (s.check) {
+          case CheckKind::Acyclic:
+            cr.kind = "acyclic";
+            cr.passed = r.acyclic();
+            if (!cr.passed)
+                cr.cycle = r.findCycle();
+            break;
+          case CheckKind::Irreflexive:
+            cr.kind = "irreflexive";
+            cr.passed = r.irreflexive();
+            break;
+          case CheckKind::Empty:
+            cr.kind = "empty";
+            cr.passed = r.empty();
+            break;
+        }
+        result.allowed &= cr.passed;
+        result.checks.push_back(std::move(cr));
+    }
+    return result;
+}
+
+std::optional<axiom::Relation>
+Model::relation(const std::string &name,
+                const axiom::Execution &ex) const
+{
+    Impl::Env env = impl_->baseEnv(ex);
+    for (const auto &s : impl_->stmts) {
+        if (s.kind != Stmt::Kind::Let)
+            continue;
+        if (s.params.empty())
+            env.rels[s.name] = impl_->eval(s.expr, env);
+        else
+            env.funcs[s.name] = &s;
+        if (s.name == name && s.params.empty())
+            return env.rels[s.name];
+    }
+    auto it = env.rels.find(name);
+    if (it != env.rels.end())
+        return it->second;
+    return std::nullopt;
+}
+
+std::vector<std::string>
+Model::checkNames() const
+{
+    std::vector<std::string> names;
+    for (const auto &s : impl_->stmts) {
+        if (s.kind == Stmt::Kind::Check)
+            names.push_back(s.checkName);
+    }
+    return names;
+}
+
+} // namespace gpulitmus::cat

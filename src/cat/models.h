@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The built-in .cat models.
+ *
+ * - ptx(): the paper's model of Nvidia GPUs (Fig. 15 + Fig. 16):
+ *   SPARC RMO with the load-load hazard relaxation, no-thin-air, and
+ *   one RMO constraint per scope (cta / gl / sys).
+ * - rmo(): plain (unscoped) SPARC RMO as in Fig. 15 with a single
+ *   constraint where every fence orders — the paper's CPU baseline.
+ * - sc(): sequential consistency (Lamport), for reference.
+ * - tso(): an x86-TSO-like model, for reference.
+ * - scPerLocFull(): full SC-per-location *including* read-read pairs;
+ *   unsound for coRR-observing chips (ablation of Sec. 5.2.2).
+ */
+
+#ifndef GPULITMUS_CAT_MODELS_H
+#define GPULITMUS_CAT_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "cat/cat.h"
+
+namespace gpulitmus::cat::models {
+
+/** Source text of each built-in model. */
+std::string ptxSource();
+std::string rmoSource();
+std::string scSource();
+std::string tsoSource();
+std::string scPerLocFullSource();
+
+/** Parsed singletons (parsed once, shared). */
+const Model &ptx();
+const Model &rmo();
+const Model &sc();
+const Model &tso();
+const Model &scPerLocFull();
+
+/** All built-in models with their names. */
+std::vector<std::pair<std::string, const Model *>> all();
+
+} // namespace gpulitmus::cat::models
+
+#endif // GPULITMUS_CAT_MODELS_H

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error-reporting and logging primitives, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic() is for internal invariant violations (a gpulitmus bug);
+ * fatal() is for unrecoverable user errors (bad input files, bad CLI
+ * arguments); warn() and inform() are status channels that never stop
+ * execution.
+ */
+
+#ifndef GPULITMUS_COMMON_LOG_H
+#define GPULITMUS_COMMON_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace gpulitmus {
+
+/** Print a printf-style message tagged "panic:" and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a printf-style message tagged "fatal:" and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a printf-style message tagged "warn:" to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a printf-style status message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+} // namespace gpulitmus
+
+#endif // GPULITMUS_COMMON_LOG_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic machinery in gpulitmus (the hardware simulator's
+ * interleaving scheduler, the incantation jitter, the test harness'
+ * thread randomisation) draws from this xoshiro256** generator so that
+ * every experiment is reproducible from its seed.
+ */
+
+#ifndef GPULITMUS_COMMON_RNG_H
+#define GPULITMUS_COMMON_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace gpulitmus {
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna). Deterministic, seedable, fast,
+ * and with far better statistical properties than rand().
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p);
+
+    /** Fisher-Yates shuffle of a random-access container. */
+    template <typename Vec>
+    void
+    shuffle(Vec &v)
+    {
+        if (v.size() < 2)
+            return;
+        for (size_t i = v.size() - 1; i > 0; --i) {
+            size_t j = static_cast<size_t>(below(i + 1));
+            std::swap(v[i], v[j]);
+        }
+    }
+
+    /** Split off an independently seeded child generator. */
+    Rng split();
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace gpulitmus
+
+#endif // GPULITMUS_COMMON_RNG_H

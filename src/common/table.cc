@@ -1,0 +1,67 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace gpulitmus {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    size_t ncols = header_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> widths(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            os << cell << std::string(widths[i] - cell.size(), ' ');
+            if (i + 1 < ncols)
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t i = 0; i < ncols; ++i)
+            total += widths[i] + (i + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream ss;
+    print(ss);
+    return ss.str();
+}
+
+} // namespace gpulitmus

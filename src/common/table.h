@@ -1,0 +1,44 @@
+/**
+ * @file
+ * A tiny fixed-width table printer used by the benchmark binaries to
+ * render the paper's tables (obs/100k per chip, fence sweeps, the
+ * 16-column incantation matrix of Tab. 6, ...).
+ */
+
+#ifndef GPULITMUS_COMMON_TABLE_H
+#define GPULITMUS_COMMON_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpulitmus {
+
+/**
+ * Accumulates rows of string cells and renders them with aligned
+ * columns. The first row added with header() is separated from the
+ * body by a rule.
+ */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a body row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with per-column alignment. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gpulitmus
+
+#endif // GPULITMUS_COMMON_TABLE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Whole-application clients demonstrating end-to-end consequences of
+ * the weak behaviours (Sec. 3.2): the dot-product reduction of CUDA
+ * by Example App 1.2, whose per-CTA sums are merged under the spin
+ * lock of Fig. 2, computes wrong results when the lock lacks fences;
+ * and the work-stealing deque loses tasks.
+ */
+
+#ifndef GPULITMUS_CUDA_APPS_H
+#define GPULITMUS_CUDA_APPS_H
+
+#include <cstdint>
+
+#include "sim/chip.h"
+#include "sim/machine.h"
+
+namespace gpulitmus::cuda {
+
+struct AppResult
+{
+    uint64_t runs = 0;
+    uint64_t wrong = 0; ///< runs with an incorrect final result
+};
+
+/**
+ * The dot-product client: num_threads CTAs each add their local sum
+ * (thread id + 1) to a global accumulator under the spin lock, then
+ * the final sum is checked against the closed form. Without fences
+ * the lock admits stale reads of the accumulator, losing updates.
+ */
+AppResult runDotProduct(const sim::ChipProfile &chip, int num_threads,
+                        bool with_fences, uint64_t iterations,
+                        uint64_t seed = 0xd07);
+
+/**
+ * The work-stealing client: an owner pushes a task while a thief
+ * steals concurrently; a "lost" run is one where the thief observed
+ * the pushed tail but read a stale (empty) task slot.
+ */
+AppResult runWorkStealing(const sim::ChipProfile &chip,
+                          bool with_fences, uint64_t iterations,
+                          uint64_t seed = 0xdec);
+
+} // namespace gpulitmus::cuda
+
+#endif // GPULITMUS_CUDA_APPS_H

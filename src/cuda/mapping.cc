@@ -1,0 +1,54 @@
+#include "cuda/mapping.h"
+
+#include "common/log.h"
+
+namespace gpulitmus::cuda {
+
+std::vector<MappingEntry>
+mappingTable()
+{
+    return {
+        {"atomicCAS", "atom.cas"},
+        {"atomicExch", "atom.exch"},
+        {"__threadfence", "membar.gl"},
+        {"__threadfence_block", "membar.cta"},
+        {"atomicAdd(...,1)", "atom.inc"},
+        {"store to global int", "st.cg"},
+        {"load from global int", "ld.cg"},
+        {"store to volatile int", "st.volatile"},
+        {"load from volatile int", "ld.volatile"},
+        {"control flow (while, if)",
+         "jumps & predicated instructions"},
+    };
+}
+
+ptx::Instruction
+translate(CudaOp op, const std::string &dst, const std::string &loc,
+          const ptx::Operand &a, const ptx::Operand &b)
+{
+    using namespace ptx::build;
+    ptx::Operand addr = ptx::Operand::makeSym(loc);
+    switch (op) {
+      case CudaOp::AtomicCas:
+        return atomCas(dst, addr, a, b);
+      case CudaOp::AtomicExch:
+        return atomExch(dst, addr, a);
+      case CudaOp::AtomicAdd1:
+        return atomInc(dst, addr);
+      case CudaOp::Threadfence:
+        return membar(ptx::Scope::Gl);
+      case CudaOp::ThreadfenceBlock:
+        return membar(ptx::Scope::Cta);
+      case CudaOp::GlobalStore:
+        return st(addr, a, ptx::CacheOp::Cg);
+      case CudaOp::GlobalLoad:
+        return ld(dst, addr, ptx::CacheOp::Cg);
+      case CudaOp::VolatileStore:
+        return stVolatile(addr, a);
+      case CudaOp::VolatileLoad:
+        return ldVolatile(dst, addr);
+    }
+    panic("unknown CudaOp");
+}
+
+} // namespace gpulitmus::cuda

@@ -1,0 +1,480 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace gpulitmus::gen {
+
+namespace {
+
+char
+dirLetter(Dir d)
+{
+    return d == Dir::W ? 'W' : 'R';
+}
+
+} // anonymous namespace
+
+std::string
+Edge::name() const
+{
+    switch (type) {
+      case Type::Rfe:
+      case Type::Fre:
+      case Type::Wse: {
+        std::string base = type == Type::Rfe   ? "Rfe"
+                           : type == Type::Fre ? "Fre"
+                                               : "Wse";
+        return base + (scope == ScopeAnn::IntraCta ? "-cta" : "-dev");
+      }
+      case Type::Po:
+        return std::string("Po") + (sameLoc ? "s" : "d") +
+               dirLetter(from) + dirLetter(to);
+      case Type::Dp: {
+        std::string kind = dep == DepKind::Addr   ? "Addr"
+                           : dep == DepKind::Data ? "Data"
+                                                  : "Ctrl";
+        return "Dp" + kind + "d" + dirLetter(to);
+      }
+      case Type::Fence:
+        return "F." + ptx::toString(fenceScope) + "-d" +
+               dirLetter(from) + dirLetter(to);
+    }
+    panic("unknown edge type");
+}
+
+std::vector<Edge>
+defaultPool(bool with_scopes, bool with_deps)
+{
+    std::vector<Edge> pool;
+
+    auto comm = [&](Edge::Type t, Dir f, Dir to_, ScopeAnn s) {
+        Edge e;
+        e.type = t;
+        e.from = f;
+        e.to = to_;
+        e.sameLoc = true;
+        e.scope = s;
+        pool.push_back(e);
+    };
+    std::vector<ScopeAnn> scopes = {ScopeAnn::InterCta};
+    if (with_scopes)
+        scopes.push_back(ScopeAnn::IntraCta);
+    for (ScopeAnn s : scopes) {
+        comm(Edge::Type::Rfe, Dir::W, Dir::R, s);
+        comm(Edge::Type::Fre, Dir::R, Dir::W, s);
+        comm(Edge::Type::Wse, Dir::W, Dir::W, s);
+    }
+
+    auto po = [&](Dir f, Dir t, bool same) {
+        Edge e;
+        e.type = Edge::Type::Po;
+        e.from = f;
+        e.to = t;
+        e.sameLoc = same;
+        pool.push_back(e);
+    };
+    po(Dir::W, Dir::W, false);
+    po(Dir::W, Dir::R, false);
+    po(Dir::R, Dir::W, false);
+    po(Dir::R, Dir::R, false);
+    po(Dir::R, Dir::R, true); // PosRR: the coRR shape
+    po(Dir::W, Dir::W, true); // PosWW: the coWW shape
+
+    auto fence = [&](ptx::Scope s, Dir f, Dir t) {
+        Edge e;
+        e.type = Edge::Type::Fence;
+        e.from = f;
+        e.to = t;
+        e.sameLoc = false;
+        e.fenceScope = s;
+        pool.push_back(e);
+    };
+    std::vector<ptx::Scope> fscopes = {ptx::Scope::Gl};
+    if (with_scopes) {
+        fscopes.push_back(ptx::Scope::Cta);
+        fscopes.push_back(ptx::Scope::Sys);
+    }
+    for (ptx::Scope s : fscopes) {
+        fence(s, Dir::W, Dir::W);
+        fence(s, Dir::W, Dir::R);
+        fence(s, Dir::R, Dir::W);
+        fence(s, Dir::R, Dir::R);
+    }
+
+    if (with_deps) {
+        auto dp = [&](DepKind k, Dir t) {
+            Edge e;
+            e.type = Edge::Type::Dp;
+            e.from = Dir::R; // dependencies emanate from loads
+            e.to = t;
+            e.sameLoc = false;
+            e.dep = k;
+            pool.push_back(e);
+        };
+        dp(DepKind::Addr, Dir::R);
+        dp(DepKind::Addr, Dir::W);
+        dp(DepKind::Data, Dir::W);
+        dp(DepKind::Ctrl, Dir::R);
+        dp(DepKind::Ctrl, Dir::W);
+    }
+    return pool;
+}
+
+namespace {
+
+/** Internal per-event record during synthesis. */
+struct EventRec
+{
+    Dir dir = Dir::W;
+    int thread = 0;
+    int loc = 0;
+    int64_t value = -1; ///< write value or expected read value
+    int regNum = -1;    ///< destination register number for reads
+};
+
+std::string
+locName(int idx)
+{
+    static const char *names[] = {"x", "y", "z", "w", "a", "b",
+                                  "c", "d"};
+    if (idx < 8)
+        return names[idx];
+    return "v" + std::to_string(idx);
+}
+
+} // anonymous namespace
+
+std::optional<litmus::Test>
+synthesise(const std::vector<Edge> &cycle, const std::string &name,
+           const GeneratorOptions &opts)
+{
+    size_t n = cycle.size();
+    if (n < 2)
+        return std::nullopt;
+
+    // Direction chaining: the target direction of edge i must be the
+    // source direction of edge i+1 (cyclically).
+    for (size_t i = 0; i < n; ++i) {
+        if (cycle[i].to != cycle[(i + 1) % n].from)
+            return std::nullopt;
+    }
+
+    // The closing edge must be a communication edge (rotations where
+    // it is not denote the same test).
+    if (!cycle[n - 1].isComm())
+        return std::nullopt;
+
+    std::vector<EventRec> events(n);
+    for (size_t i = 0; i < n; ++i)
+        events[i].dir = cycle[i].from;
+
+    // Threads: a communication edge moves to a fresh thread.
+    int nthreads = 1;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (cycle[i].isComm())
+            ++nthreads;
+        events[i + 1].thread = nthreads - 1;
+    }
+    if (nthreads < 2 || nthreads > opts.maxThreads)
+        return std::nullopt;
+    // The closing communication edge returns to thread 0 — distinct
+    // by construction.
+
+    // Locations: union-find over same-location edges (including the
+    // closing one), then one location per class; location-changing
+    // edges must connect distinct classes.
+    std::vector<size_t> parent(n);
+    for (size_t i = 0; i < n; ++i)
+        parent[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+        while (parent[x] != x)
+            x = parent[x] = parent[parent[x]];
+        return x;
+    };
+    for (size_t i = 0; i < n; ++i) {
+        if (cycle[i].sameLoc)
+            parent[find(i)] = find((i + 1) % n);
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (!cycle[i].sameLoc && find(i) == find((i + 1) % n))
+            return std::nullopt; // Pod/Dp/Fence within one location
+    }
+    int nlocs = 0;
+    std::vector<int> class_loc(n, -1);
+    for (size_t i = 0; i < n; ++i) {
+        size_t root = find(i);
+        if (class_loc[root] < 0)
+            class_loc[root] = nlocs++;
+        events[i].loc = class_loc[root];
+    }
+    if (nlocs > opts.maxLocations)
+        return std::nullopt;
+
+    // Coherence order per location: writes in cycle order.
+    std::vector<std::vector<size_t>> writes_of(
+        static_cast<size_t>(nlocs));
+    for (size_t i = 0; i < n; ++i) {
+        if (events[i].dir == Dir::W) {
+            auto &ws = writes_of[static_cast<size_t>(events[i].loc)];
+            ws.push_back(i);
+            events[i].value = static_cast<int64_t>(ws.size());
+        }
+    }
+
+    // Read values from the communication edges.
+    for (size_t i = 0; i < n; ++i) {
+        const Edge &e = cycle[i];
+        size_t src = i;
+        size_t dst = (i + 1) % n;
+        if (e.type == Edge::Type::Rfe) {
+            // Read sees the write's value.
+            int64_t v = events[src].value;
+            if (events[dst].value >= 0 && events[dst].value != v)
+                return std::nullopt; // conflicting constraints
+            events[dst].value = v;
+        } else if (e.type == Edge::Type::Fre) {
+            // Read sees the coherence predecessor of the write.
+            int64_t v = events[dst].value - 1;
+            if (events[src].value >= 0 && events[src].value != v)
+                return std::nullopt;
+            events[src].value = v;
+        }
+    }
+    // Reads with no constraint never happen in valid cycles (every
+    // read endpoint touches a communication edge); be safe anyway.
+    for (auto &ev : events) {
+        if (ev.dir == Dir::R && ev.value < 0)
+            return std::nullopt;
+    }
+
+    // Coherence consistency: the appearance order (our co order) must
+    // agree with every non-closing coherence edge. A *closing* Wse
+    // asserts that the co-first write is last in coherence — the
+    // relaxed behaviour itself — and is witnessed by the final memory
+    // value instead (below).
+    bool closing_wse = cycle[n - 1].type == Edge::Type::Wse;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (cycle[i].type == Edge::Type::Wse &&
+            events[i].value >= events[i + 1].value)
+            return std::nullopt;
+    }
+
+    // ---- Emit the litmus test. --------------------------------------
+    litmus::TestBuilder builder(name);
+    for (int l = 0; l < nlocs; ++l)
+        builder.global(locName(l), 0);
+
+    std::string cond;
+    std::vector<std::pair<int, std::string>> reg_locs; // addr regs
+
+    for (int t = 0; t < nthreads; ++t) {
+        std::string body;
+        int next_reg = 0;
+        int next_pred = 0;
+        // Events of this thread in cycle order.
+        for (size_t i = 0; i < n; ++i) {
+            if (events[i].thread != t)
+                continue;
+            EventRec &ev = events[i];
+
+            // The edge *into* this event (from the same thread)
+            // dictates dependency/fence plumbing.
+            const Edge *in_edge =
+                i > 0 && events[i - 1].thread == t ? &cycle[i - 1]
+                                                   : nullptr;
+
+            std::string guard;
+            std::string addr = "[" + locName(ev.loc) + "]";
+            std::string value_src;
+
+            if (in_edge && in_edge->type == Edge::Type::Fence) {
+                body += "membar." +
+                        ptx::toString(in_edge->fenceScope) + ";";
+            } else if (in_edge && in_edge->type == Edge::Type::Dp) {
+                // Source register of the dependency: the previous
+                // event is a read (Dir::R enforced by the pool).
+                std::string src_reg =
+                    "r" + std::to_string(events[i - 1].regNum);
+                switch (in_edge->dep) {
+                  case DepKind::Addr: {
+                    // Fig. 13b: and with the high bit, extend, add 0.
+                    std::string rz = "r" + std::to_string(20 + next_reg);
+                    std::string rw = "r" + std::to_string(30 + next_reg);
+                    std::string ra = "r" + std::to_string(40 + next_reg);
+                    reg_locs.emplace_back(t, ra + ":" + locName(ev.loc));
+                    body += "and.b32 " + rz + "," + src_reg +
+                            ",0x80000000;";
+                    body += "cvt.u64.u32 " + rw + "," + rz + ";";
+                    body += "add.u64 " + ra + "," + ra + "," + rw + ";";
+                    addr = "[" + ra + "]";
+                    break;
+                  }
+                  case DepKind::Data: {
+                    std::string rz = "r" + std::to_string(20 + next_reg);
+                    std::string rv = "r" + std::to_string(30 + next_reg);
+                    body += "and.b32 " + rz + "," + src_reg +
+                            ",0x80000000;";
+                    body += "add.s32 " + rv + "," + rz + "," +
+                            std::to_string(ev.value) + ";";
+                    value_src = rv;
+                    break;
+                  }
+                  case DepKind::Ctrl: {
+                    std::string p = "p" + std::to_string(next_pred++);
+                    body += "setp.ne " + p + "," + src_reg + ",1000;";
+                    guard = "@" + p + " ";
+                    break;
+                  }
+                }
+            }
+
+            if (ev.dir == Dir::W) {
+                std::string v = value_src.empty()
+                                    ? std::to_string(ev.value)
+                                    : value_src;
+                body += guard + "st.cg " + addr + "," + v + ";";
+            } else {
+                ev.regNum = next_reg++;
+                std::string r = "r" + std::to_string(ev.regNum);
+                body += guard + "ld.cg " + r + "," + addr + ";";
+                if (!cond.empty())
+                    cond += " /\\ ";
+                cond += std::to_string(t) + ":" + r + "=" +
+                        std::to_string(ev.value);
+            }
+        }
+        builder.thread(body);
+    }
+
+    for (const auto &[t, spec] : reg_locs) {
+        auto colon = spec.find(':');
+        builder.regLoc(t, spec.substr(0, colon),
+                       spec.substr(colon + 1));
+    }
+
+    // Final coherence constraints for multi-write locations. A
+    // closing Wse edge asserts the first event is co-last, so its
+    // location's final value witnesses that write instead.
+    for (int l = 0; l < nlocs; ++l) {
+        const auto &ws = writes_of[static_cast<size_t>(l)];
+        if (ws.size() >= 2) {
+            size_t witness = ws.back();
+            if (closing_wse && events[0].loc == l)
+                witness = 0;
+            if (!cond.empty())
+                cond += " /\\ ";
+            cond += locName(l) + "=" +
+                    std::to_string(events[witness].value);
+        }
+    }
+    if (cond.empty())
+        return std::nullopt;
+    builder.exists(cond);
+
+    // Scope tree from the communication-edge annotations: walk the
+    // threads, opening a new CTA when the edge into the next thread
+    // is inter-CTA.
+    std::vector<litmus::ThreadPlacement> placement(
+        static_cast<size_t>(nthreads));
+    int cta = 0;
+    int warp = 0;
+    int thread_idx = 0;
+    placement[0] = {0, 0};
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (!cycle[i].isComm())
+            continue;
+        ++thread_idx;
+        if (cycle[i].scope == ScopeAnn::IntraCta) {
+            ++warp;
+        } else {
+            ++cta;
+            warp = 0;
+        }
+        placement[static_cast<size_t>(thread_idx)] = {cta, warp};
+    }
+    // The closing edge relates the last thread and thread 0; check
+    // consistency with its annotation.
+    bool closing_intra = cycle[n - 1].scope == ScopeAnn::IntraCta;
+    bool actually_intra =
+        placement[static_cast<size_t>(nthreads - 1)].cta ==
+        placement[0].cta;
+    if (closing_intra != actually_intra)
+        return std::nullopt;
+    builder.scope(litmus::ScopeTree(std::move(placement)));
+
+    return builder.build();
+}
+
+std::vector<GeneratedTest>
+generate(const std::vector<Edge> &pool, const GeneratorOptions &opts)
+{
+    std::vector<GeneratedTest> out;
+    std::set<std::string> seen;
+
+    std::vector<Edge> cycle;
+    std::function<void(int)> dfs = [&](int remaining) {
+        if (out.size() >= opts.maxTests)
+            return;
+        if (static_cast<int>(cycle.size()) >= opts.minEdges) {
+            // Try to close the cycle.
+            if (cycle.back().to == cycle.front().from &&
+                cycle.back().isComm()) {
+                // Canonical name: the smallest rotation (rotations
+                // denote the same test).
+                std::vector<std::string> names;
+                for (const auto &e : cycle)
+                    names.push_back(e.name());
+                std::string canonical;
+                for (size_t r = 0; r < names.size(); ++r) {
+                    std::string rotated;
+                    for (size_t k = 0; k < names.size(); ++k) {
+                        if (k)
+                            rotated += " ";
+                        rotated += names[(r + k) % names.size()];
+                    }
+                    if (canonical.empty() || rotated < canonical)
+                        canonical = rotated;
+                }
+                if (!seen.count(canonical)) {
+                    seen.insert(canonical);
+                    std::string display;
+                    for (size_t k = 0; k < names.size(); ++k) {
+                        if (k)
+                            display += " ";
+                        display += names[k];
+                    }
+                    auto test = synthesise(cycle, display, opts);
+                    if (test)
+                        out.push_back({display, std::move(*test)});
+                }
+            }
+        }
+        if (remaining == 0)
+            return;
+        for (const auto &e : pool) {
+            if (!cycle.empty() && cycle.back().to != e.from)
+                continue;
+            cycle.push_back(e);
+            dfs(remaining - 1);
+            cycle.pop_back();
+            if (out.size() >= opts.maxTests)
+                return;
+        }
+    };
+
+    for (const auto &e : pool) {
+        cycle.push_back(e);
+        dfs(opts.maxEdges - 1);
+        cycle.pop_back();
+        if (out.size() >= opts.maxTests)
+            break;
+    }
+    return out;
+}
+
+} // namespace gpulitmus::gen

@@ -1,0 +1,58 @@
+#include "harness/runner.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace gpulitmus::harness {
+
+uint64_t
+defaultIterations()
+{
+    const char *env = std::getenv("GPULITMUS_ITERS");
+    if (!env)
+        return 100000;
+    auto v = parseInt(env);
+    if (!v || *v <= 0) {
+        warn("ignoring invalid GPULITMUS_ITERS='%s'", env);
+        return 100000;
+    }
+    return static_cast<uint64_t>(*v);
+}
+
+litmus::Histogram
+run(const sim::ChipProfile &chip, const litmus::Test &test,
+    const RunConfig &config)
+{
+    litmus::Histogram hist(test);
+
+    sim::MachineOptions opts;
+    opts.inc = config.inc;
+    opts.maxMicroSteps = config.maxMicroSteps;
+    sim::Machine machine(chip, test, opts);
+
+    // Seed folds in the chip and incantations so parallel sweeps do
+    // not reuse streams.
+    uint64_t seed = config.seed;
+    for (char c : chip.shortName)
+        seed = seed * 131 + static_cast<uint64_t>(c);
+    seed = seed * 131 + static_cast<uint64_t>(config.inc.column());
+    Rng rng(seed);
+
+    for (uint64_t i = 0; i < config.iterations; ++i)
+        hist.record(machine.run(rng));
+    return hist;
+}
+
+uint64_t
+observePer100k(const sim::ChipProfile &chip, const litmus::Test &test,
+               const RunConfig &config)
+{
+    litmus::Histogram hist = run(chip, test, config);
+    if (hist.total() == 0)
+        return 0;
+    return hist.observed() * 100000 / hist.total();
+}
+
+} // namespace gpulitmus::harness

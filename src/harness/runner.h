@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The test harness (Sec. 4.2/4.3): runs a litmus test many times on a
+ * simulated chip under a chosen combination of incantations and
+ * collects the outcome histogram, exactly as the paper's tool does on
+ * real hardware.
+ */
+
+#ifndef GPULITMUS_HARNESS_RUNNER_H
+#define GPULITMUS_HARNESS_RUNNER_H
+
+#include <cstdint>
+
+#include "litmus/outcome.h"
+#include "sim/chip.h"
+#include "sim/machine.h"
+
+namespace gpulitmus::harness {
+
+struct RunConfig
+{
+    /** Number of iterations; the paper uses 100k. */
+    uint64_t iterations = 100000;
+    /** RNG seed; every run is reproducible. */
+    uint64_t seed = 0x6c69746d7573ULL; // "litmus"
+    /** Incantation combination (Sec. 4.3). */
+    sim::Incantations inc = sim::Incantations::all();
+    /** Per-iteration machine limits. */
+    int maxMicroSteps = 4000;
+};
+
+/**
+ * Iteration count from the GPULITMUS_ITERS environment variable, or
+ * the paper's 100k when unset. Benchmarks use this so CI can dial the
+ * runtime down.
+ */
+uint64_t defaultIterations();
+
+/** Run a test on a chip; returns the full histogram. */
+litmus::Histogram run(const sim::ChipProfile &chip,
+                      const litmus::Test &test,
+                      const RunConfig &config = {});
+
+/** Shorthand: number of runs whose final state satisfied the
+ * condition body, normalised to per-100k ("obs/100k"). */
+uint64_t observePer100k(const sim::ChipProfile &chip,
+                        const litmus::Test &test,
+                        const RunConfig &config = {});
+
+} // namespace gpulitmus::harness
+
+#endif // GPULITMUS_HARNESS_RUNNER_H

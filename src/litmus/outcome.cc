@@ -1,0 +1,68 @@
+#include "litmus/outcome.h"
+
+#include "common/log.h"
+
+namespace gpulitmus::litmus {
+
+Histogram::Histogram(const Test &test)
+    : test_(&test), regs_(test.observedRegs()),
+      locs_(test.observedLocs())
+{
+}
+
+std::string
+Histogram::keyFor(const FinalState &state) const
+{
+    std::string key;
+    for (const auto &[tid, reg] : regs_) {
+        key += std::to_string(tid) + ":" + reg + "=" +
+               std::to_string(state.reg(tid, reg)) + "; ";
+    }
+    for (const auto &loc : locs_) {
+        key += loc + "=" + std::to_string(state.loc(loc)) + "; ";
+    }
+    if (!key.empty())
+        key.resize(key.size() - 1); // drop trailing space
+    return key;
+}
+
+void
+Histogram::record(const FinalState &state)
+{
+    ++total_;
+    ++counts_[keyFor(state)];
+    if (test_->condition.eval(state))
+        ++observed_;
+}
+
+std::string
+Histogram::verdict() const
+{
+    switch (test_->quantifier) {
+      case Quantifier::Exists:
+        return observed_ > 0 ? "Ok" : "No";
+      case Quantifier::NotExists:
+        return observed_ == 0 ? "Ok" : "No";
+      case Quantifier::Forall:
+        return observed_ == total_ ? "Ok" : "No";
+    }
+    panic("unknown quantifier");
+}
+
+std::string
+Histogram::str() const
+{
+    std::string out = "Test " + test_->name + "\n";
+    out += "Histogram (" + std::to_string(counts_.size()) +
+           " states)\n";
+    for (const auto &[key, count] : counts_) {
+        out += "  " + std::to_string(count) + "  " + key + "\n";
+    }
+    out += toString(test_->quantifier) + " (" +
+           test_->condition.str() + ")  observed " +
+           std::to_string(observed_) + "/" + std::to_string(total_) +
+           "  " + verdict() + "\n";
+    return out;
+}
+
+} // namespace gpulitmus::litmus

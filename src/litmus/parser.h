@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Parser for the GPU litmus text format of Fig. 12:
+ *
+ *   GPU_PTX SB
+ *   {0:.reg .s32 r0; 0:.reg .b64 r1 = x; x=0;}
+ *   T0                 | T1                 ;
+ *   mov.s32 r0,1       | mov.s32 r0,1       ;
+ *   st.cg.s32 [r1],r0  | st.cg.s32 [r1],r0  ;
+ *   ld.cg.s32 r2,[r3]  | ld.cg.s32 r2,[r3]  ;
+ *   ScopeTree(grid(cta(warp T0) (warp T1)))
+ *   x: shared, y: global
+ *   exists (0:r2=0 /\ 1:r2=0)
+ */
+
+#ifndef GPULITMUS_LITMUS_PARSER_H
+#define GPULITMUS_LITMUS_PARSER_H
+
+#include <optional>
+#include <string>
+
+#include "litmus/test.h"
+
+namespace gpulitmus::litmus {
+
+struct ParseError
+{
+    std::string message;
+    int line = 0;
+};
+
+/** Parse a whole litmus file. */
+std::optional<Test> parseTest(const std::string &text,
+                              ParseError *error = nullptr);
+
+} // namespace gpulitmus::litmus
+
+#endif // GPULITMUS_LITMUS_PARSER_H

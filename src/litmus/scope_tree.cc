@@ -1,0 +1,166 @@
+#include "litmus/scope_tree.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace gpulitmus::litmus {
+
+ScopeTree
+ScopeTree::intraWarp(int n)
+{
+    std::vector<ThreadPlacement> t(n, ThreadPlacement{0, 0});
+    return ScopeTree(std::move(t));
+}
+
+ScopeTree
+ScopeTree::intraCta(int n)
+{
+    std::vector<ThreadPlacement> t;
+    for (int i = 0; i < n; ++i)
+        t.push_back(ThreadPlacement{0, i});
+    return ScopeTree(std::move(t));
+}
+
+ScopeTree
+ScopeTree::interCta(int n)
+{
+    std::vector<ThreadPlacement> t;
+    for (int i = 0; i < n; ++i)
+        t.push_back(ThreadPlacement{i, 0});
+    return ScopeTree(std::move(t));
+}
+
+const ThreadPlacement &
+ScopeTree::placement(int tid) const
+{
+    if (tid < 0 || tid >= numThreads())
+        panic("scope tree has no thread %d", tid);
+    return threads_[tid];
+}
+
+bool
+ScopeTree::sameCta(int t1, int t2) const
+{
+    return placement(t1).cta == placement(t2).cta;
+}
+
+bool
+ScopeTree::sameWarp(int t1, int t2) const
+{
+    return sameCta(t1, t2) && placement(t1).warp == placement(t2).warp;
+}
+
+int
+ScopeTree::numCtas() const
+{
+    int max_cta = -1;
+    for (const auto &t : threads_)
+        max_cta = std::max(max_cta, t.cta);
+    return max_cta + 1;
+}
+
+std::string
+ScopeTree::str() const
+{
+    // Group threads by cta, then warp.
+    std::map<int, std::map<int, std::vector<int>>> tree;
+    for (int tid = 0; tid < numThreads(); ++tid)
+        tree[threads_[tid].cta][threads_[tid].warp].push_back(tid);
+
+    std::string out = "grid(";
+    bool first_cta = true;
+    for (const auto &[cta, warps] : tree) {
+        if (!first_cta)
+            out += " ";
+        first_cta = false;
+        out += "cta(";
+        bool first_warp = true;
+        for (const auto &[warp, tids] : warps) {
+            if (!first_warp)
+                out += " ";
+            first_warp = false;
+            out += "(warp";
+            for (int tid : tids)
+                out += " T" + std::to_string(tid);
+            out += ")";
+        }
+        out += ")";
+    }
+    out += ")";
+    return out;
+}
+
+std::optional<ScopeTree>
+ScopeTree::parse(const std::string &text)
+{
+    // The published format is loosely parenthesised
+    // ("grid(cta(warp T0) (warp T1))"), so we parse lexically: the
+    // keywords cta/warp open a new index at their level and thread
+    // names bind to the current (cta, warp) pair. Parentheses carry no
+    // extra information beyond the keyword sequence.
+    std::string body = trim(text);
+    if (startsWith(body, "ScopeTree"))
+        body = trim(body.substr(9));
+
+    // Tokenise into words and thread names.
+    std::vector<std::string> tokens;
+    std::string cur;
+    for (char c : body) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            cur += c;
+        } else {
+            if (!cur.empty())
+                tokens.push_back(cur);
+            cur.clear();
+        }
+    }
+    if (!cur.empty())
+        tokens.push_back(cur);
+
+    if (tokens.empty() ||
+        (tokens[0] != "grid" && tokens[0] != "device" &&
+         tokens[0] != "ndrange"))
+        return std::nullopt;
+
+    std::map<int, ThreadPlacement> placements;
+    int cta_idx = -1;
+    int warp_idx = -1;
+    for (size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        if (tok == "cta" || tok == "block" || tok == "work_group") {
+            ++cta_idx;
+            warp_idx = -1;
+        } else if (tok == "warp" || tok == "wavefront") {
+            ++warp_idx;
+        } else if ((tok[0] == 'T' || tok[0] == 'P') && tok.size() > 1 &&
+                   std::all_of(tok.begin() + 1, tok.end(), [](char c) {
+                       return std::isdigit(
+                           static_cast<unsigned char>(c));
+                   })) {
+            if (cta_idx < 0 || warp_idx < 0)
+                return std::nullopt;
+            int tid = std::stoi(tok.substr(1));
+            placements[tid] = ThreadPlacement{cta_idx, warp_idx};
+        } else {
+            return std::nullopt;
+        }
+    }
+
+    if (placements.empty())
+        return std::nullopt;
+    int n = placements.rbegin()->first + 1;
+    std::vector<ThreadPlacement> threads(n);
+    for (int i = 0; i < n; ++i) {
+        auto it = placements.find(i);
+        if (it == placements.end())
+            return std::nullopt; // non-contiguous thread names
+        threads[i] = it->second;
+    }
+    return ScopeTree(std::move(threads));
+}
+
+} // namespace gpulitmus::litmus

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scope trees: the placement of testing threads in the GPU execution
+ * hierarchy (grid / CTA / warp), Sec. 4.1 of the paper.
+ */
+
+#ifndef GPULITMUS_LITMUS_SCOPE_TREE_H
+#define GPULITMUS_LITMUS_SCOPE_TREE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpulitmus::litmus {
+
+/**
+ * Per-thread position in the hierarchy. All testing threads are in the
+ * same grid (the paper does not test inter-grid interactions).
+ */
+struct ThreadPlacement
+{
+    int cta = 0;  ///< CTA (block / work-group) index within the grid
+    int warp = 0; ///< warp index within the CTA
+
+    bool operator==(const ThreadPlacement &other) const = default;
+};
+
+/**
+ * The scope tree of a litmus test: thread index -> placement.
+ */
+class ScopeTree
+{
+  public:
+    ScopeTree() = default;
+    explicit ScopeTree(std::vector<ThreadPlacement> threads)
+        : threads_(std::move(threads))
+    {}
+
+    /** n threads in the same warp of the same CTA. */
+    static ScopeTree intraWarp(int n);
+    /** n threads in the same CTA, each in its own warp (the paper's
+     * "intra-CTA" configuration). */
+    static ScopeTree intraCta(int n);
+    /** n threads each in its own CTA ("inter-CTA"). */
+    static ScopeTree interCta(int n);
+
+    int numThreads() const { return static_cast<int>(threads_.size()); }
+    const ThreadPlacement &placement(int tid) const;
+
+    bool sameCta(int t1, int t2) const;
+    bool sameWarp(int t1, int t2) const;
+
+    /** Number of distinct CTAs used. */
+    int numCtas() const;
+
+    /** Render as "grid(cta(warp T0)(warp T1))". */
+    std::string str() const;
+
+    /**
+     * Parse "grid(cta(warp T0) (warp T1))" or
+     * "grid(cta(warp T0))(cta(warp T1))" (also accepts "block" /
+     * "device" synonyms). Thread names must be T0..Tn-1; their
+     * placements are recorded in index order.
+     */
+    static std::optional<ScopeTree> parse(const std::string &text);
+
+    bool operator==(const ScopeTree &other) const = default;
+
+  private:
+    std::vector<ThreadPlacement> threads_;
+};
+
+} // namespace gpulitmus::litmus
+
+#endif // GPULITMUS_LITMUS_SCOPE_TREE_H

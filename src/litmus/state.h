@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Final-state snapshot of a litmus test execution: the registers of
+ * every testing thread plus the final memory value of every testing
+ * location. Produced by both the hardware simulator and the axiomatic
+ * engine, consumed by final-condition evaluation and histograms.
+ */
+
+#ifndef GPULITMUS_LITMUS_STATE_H
+#define GPULITMUS_LITMUS_STATE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace gpulitmus::litmus {
+
+/** (thread id, register name) key. */
+using RegKey = std::pair<int, std::string>;
+
+struct FinalState
+{
+    std::map<RegKey, int64_t> regs;
+    std::map<std::string, int64_t> mem;
+
+    int64_t
+    reg(int tid, const std::string &name) const
+    {
+        auto it = regs.find({tid, name});
+        return it == regs.end() ? 0 : it->second;
+    }
+
+    int64_t
+    loc(const std::string &name) const
+    {
+        auto it = mem.find(name);
+        return it == mem.end() ? 0 : it->second;
+    }
+
+    bool operator==(const FinalState &other) const = default;
+    auto operator<=>(const FinalState &other) const = default;
+};
+
+} // namespace gpulitmus::litmus
+
+#endif // GPULITMUS_LITMUS_STATE_H

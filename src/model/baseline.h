@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The comparison baseline of Sec. 6: an axiomatic rendering of the
+ * operational Nvidia model of Sorensen et al. (ICS 2013).
+ *
+ * In that model, fences drain the reordering buffers of the issuing
+ * core regardless of scope, so a membar.cta provides global ordering.
+ * The paper shows this is unsound w.r.t. hardware: inter-CTA
+ * lb+membar.ctas is forbidden by the model but observed 586 times on
+ * GTX Titan (and 19 times on GTX 660) per 100k runs.
+ */
+
+#ifndef GPULITMUS_MODEL_BASELINE_H
+#define GPULITMUS_MODEL_BASELINE_H
+
+#include <string>
+
+#include "cat/cat.h"
+
+namespace gpulitmus::model {
+
+/** Source of the operational-baseline model. */
+std::string operationalBaselineSource();
+
+/** Parsed singleton. */
+const cat::Model &operationalBaseline();
+
+} // namespace gpulitmus::model
+
+#endif // GPULITMUS_MODEL_BASELINE_H

@@ -1,0 +1,88 @@
+#include "model/checker.h"
+
+#include "common/log.h"
+
+namespace gpulitmus::model {
+
+Checker::Checker(const cat::Model &model, axiom::EnumeratorOptions opts)
+    : model_(&model), opts_(opts)
+{
+}
+
+Verdict
+Checker::check(const litmus::Test &test) const
+{
+    Verdict v;
+    v.testName = test.name;
+    v.modelName = model_->name();
+
+    litmus::Histogram keyer(test);
+
+    auto executions = axiom::enumerateExecutions(test, opts_);
+    v.numCandidates = executions.size();
+
+    bool forall_ok = true;
+    for (auto &ex : executions) {
+        cat::ModelResult res = model_->evaluate(ex);
+        std::string key = keyer.keyFor(ex.finalState);
+        bool satisfies = test.condition.eval(ex.finalState);
+        if (res.allowed) {
+            ++v.numAllowed;
+            v.allowedKeys.insert(key);
+            if (satisfies) {
+                v.conditionSatisfiable = true;
+                if (!v.witness)
+                    v.witness = ex;
+            } else {
+                forall_ok = false;
+            }
+        } else if (satisfies && !v.forbiddenWitness) {
+            v.forbiddenWitness = ex;
+            v.forbiddingCheck = res.firstFailure();
+        }
+    }
+
+    // Forbidden keys: keys seen only on forbidden candidates.
+    for (auto &ex : executions) {
+        std::string key = keyer.keyFor(ex.finalState);
+        if (!v.allowedKeys.count(key))
+            v.forbiddenKeys.insert(key);
+    }
+
+    switch (test.quantifier) {
+      case litmus::Quantifier::Exists:
+        v.verdict = v.conditionSatisfiable ? "Ok" : "No";
+        break;
+      case litmus::Quantifier::NotExists:
+        v.verdict = v.conditionSatisfiable ? "No" : "Ok";
+        break;
+      case litmus::Quantifier::Forall:
+        v.verdict = forall_ok ? "Ok" : "No";
+        break;
+    }
+    return v;
+}
+
+bool
+Checker::allows(const litmus::Test &test) const
+{
+    return check(test).conditionSatisfiable;
+}
+
+SoundnessReport
+checkSoundness(const Verdict &verdict,
+               const litmus::Histogram &observed)
+{
+    SoundnessReport report;
+    for (const auto &[key, count] : observed.counts()) {
+        if (count == 0)
+            continue;
+        if (!verdict.allowedKeys.count(key)) {
+            report.sound = false;
+            report.violations.push_back(key);
+        }
+    }
+    return report;
+}
+
+} // namespace gpulitmus::model

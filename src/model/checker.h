@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The model checker: enumerate a test's candidate executions, filter
+ * them through a .cat model, and report which final states the model
+ * allows — the herd workflow of Sec. 5.4.
+ */
+
+#ifndef GPULITMUS_MODEL_CHECKER_H
+#define GPULITMUS_MODEL_CHECKER_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "axiom/enumerate.h"
+#include "cat/cat.h"
+#include "litmus/outcome.h"
+
+namespace gpulitmus::model {
+
+/** Result of checking one test against one model. */
+struct Verdict
+{
+    std::string testName;
+    std::string modelName;
+
+    uint64_t numCandidates = 0;
+    uint64_t numAllowed = 0;
+
+    /** Outcome keys (Histogram::keyFor format) of allowed states. */
+    std::set<std::string> allowedKeys;
+    /** Outcome keys of candidates the model forbids (and no allowed
+     * candidate produces). */
+    std::set<std::string> forbiddenKeys;
+
+    /** Does some allowed execution satisfy the condition body? */
+    bool conditionSatisfiable = false;
+
+    /**
+     * Litmus-style verdict on the quantified condition: for exists,
+     * "Ok" iff satisfiable; for ~exists, "Ok" iff unsatisfiable; for
+     * forall, "Ok" iff every allowed state satisfies the body.
+     */
+    std::string verdict;
+
+    /** One allowed execution satisfying the condition (witness). */
+    std::optional<axiom::Execution> witness;
+    /** One forbidden execution satisfying the condition, with the
+     * name of the check that kills it. */
+    std::optional<axiom::Execution> forbiddenWitness;
+    std::string forbiddingCheck;
+};
+
+/** Evaluates tests against a .cat model. */
+class Checker
+{
+  public:
+    explicit Checker(const cat::Model &model,
+                     axiom::EnumeratorOptions opts = {});
+
+    Verdict check(const litmus::Test &test) const;
+
+    /** Shorthand: does the model allow the condition body? */
+    bool allows(const litmus::Test &test) const;
+
+    const cat::Model &model() const { return *model_; }
+
+  private:
+    const cat::Model *model_;
+    axiom::EnumeratorOptions opts_;
+};
+
+/** Soundness of a model w.r.t. observations (Sec. 5.4): every
+ * behaviour the hardware (simulator) exhibits must be allowed. */
+struct SoundnessReport
+{
+    bool sound = true;
+    /** Observed outcome keys the model forbids. */
+    std::vector<std::string> violations;
+};
+
+SoundnessReport checkSoundness(const Verdict &verdict,
+                               const litmus::Histogram &observed);
+
+} // namespace gpulitmus::model
+
+#endif // GPULITMUS_MODEL_CHECKER_H

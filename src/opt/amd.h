@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The AMD OpenCL compilation pipeline with the quirks the paper
+ * documents (Sec. 2.3, 3.1.2, 3.2.1, 4.4). Tests for AMD chips are
+ * written in OpenCL and the vendor compiler stands between the test
+ * and the hardware; we model the compiler as a source-to-source
+ * transformation on the litmus test:
+ *
+ * - GCN 1.0: the fence between two loads is removed (observed in the
+ *   Southern Islands ISA; reported to AMD) — mp stays weak with
+ *   fences;
+ * - TeraScale 2: a load is reordered past a CAS — a miscompilation
+ *   that invalidates CAS-based synchronisation, making the dlb-lb
+ *   hardware result unusable ("n/a" in Fig. 8);
+ * - both: repeated loads of one location are coalesced into a single
+ *   load unless suppressed (Sec. 4.4 and the online material explain
+ *   the suppression).
+ */
+
+#ifndef GPULITMUS_OPT_AMD_H
+#define GPULITMUS_OPT_AMD_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+#include "sim/chip.h"
+
+namespace gpulitmus::opt {
+
+struct AmdCompileResult
+{
+    litmus::Test compiled;
+    /** Human-readable compiler quirks applied. */
+    std::vector<std::string> quirks;
+    /** True when a quirk invalidates the test's intent (the paper
+     * reports "n/a" instead of an observation count). */
+    bool miscompiled = false;
+};
+
+/**
+ * Compile a litmus test with the (simulated) AMD OpenCL compiler for
+ * the given chip. suppress_coalescing reflects the workaround the
+ * paper describes in its online material.
+ */
+AmdCompileResult amdCompile(const litmus::Test &test,
+                            const sim::ChipProfile &chip,
+                            bool suppress_coalescing = true);
+
+} // namespace gpulitmus::opt
+
+#endif // GPULITMUS_OPT_AMD_H

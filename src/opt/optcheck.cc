@@ -1,0 +1,146 @@
+#include "opt/optcheck.h"
+
+#include "common/log.h"
+
+namespace gpulitmus::opt {
+
+uint32_t
+encodeSpec(AccessType type, int position)
+{
+    return kSpecMagic | (static_cast<uint32_t>(type) << 8) |
+           (static_cast<uint32_t>(position) & 0xff);
+}
+
+AccessType
+accessTypeOf(const ptx::Instruction &in)
+{
+    if (in.op == ptx::Opcode::Ld) {
+        switch (in.cacheOp) {
+          case ptx::CacheOp::Cg: return AccessType::LoadCg;
+          case ptx::CacheOp::Ca: return AccessType::LoadCa;
+          default: return AccessType::LoadOther;
+        }
+    }
+    if (in.op == ptx::Opcode::St)
+        return AccessType::Store;
+    return AccessType::Atomic;
+}
+
+namespace {
+
+/** The register that identifies an access: its destination for loads
+ * and atomics, its value register (or address) for stores. */
+std::string
+accessReg(const ptx::Instruction &in)
+{
+    if (!in.dst.empty())
+        return in.dst;
+    if (!in.srcs.empty() && in.srcs[0].isReg())
+        return in.srcs[0].reg;
+    if (in.addr.isReg())
+        return in.addr.reg;
+    // Symbolic-address immediate store: identify by the location.
+    return "[" + in.addr.str() + "]";
+}
+
+} // anonymous namespace
+
+void
+embedSpecification(const litmus::Test &test, SassProgram &prog)
+{
+    for (int t = 0; t < test.program.numThreads() &&
+                    t < static_cast<int>(prog.threads.size());
+         ++t) {
+        int position = 0;
+        for (const auto &in : test.program.threads[t].instrs) {
+            if (!in.isMemAccess())
+                continue;
+            SassInstr spec;
+            spec.kind = SassInstr::Kind::Spec;
+            spec.specReg = accessReg(in);
+            spec.specWord = encodeSpec(accessTypeOf(in), position++);
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "XOR R2, %s, 0x%08x",
+                          spec.specReg.c_str(), spec.specWord);
+            spec.text = buf;
+            prog.threads[t].instrs.push_back(std::move(spec));
+        }
+    }
+}
+
+CheckResult
+optcheck(const SassProgram &prog)
+{
+    CheckResult result;
+    for (const auto &thread : prog.threads) {
+        ThreadCheck tc;
+
+        // Decode the specification and the actual access sequence.
+        std::vector<SpecEntry> spec;
+        std::vector<const SassInstr *> actual;
+        for (const auto &in : thread.instrs) {
+            if (in.kind == SassInstr::Kind::Spec &&
+                (in.specWord & kSpecMagicMask) == kSpecMagic) {
+                SpecEntry e;
+                e.reg = in.specReg;
+                e.type = static_cast<AccessType>(
+                    (in.specWord >> 8) & 0xf);
+                e.position = static_cast<int>(in.specWord & 0xff);
+                spec.push_back(std::move(e));
+            } else if (in.kind == SassInstr::Kind::MemAccess) {
+                actual.push_back(&in);
+            }
+        }
+
+        if (actual.size() < spec.size()) {
+            tc.ok = false;
+            tc.problems.push_back(
+                "access removed: specification lists " +
+                std::to_string(spec.size()) + " accesses, code has " +
+                std::to_string(actual.size()));
+        }
+        if (actual.size() > spec.size()) {
+            tc.ok = false;
+            tc.problems.push_back("unexpected extra memory access");
+        }
+
+        size_t n = std::min(spec.size(), actual.size());
+        for (size_t i = 0; i < n; ++i) {
+            const SpecEntry &s = spec[i];
+            const ptx::Instruction &a = actual[i]->ptx;
+            if (s.position != static_cast<int>(i)) {
+                tc.ok = false;
+                tc.problems.push_back(
+                    "specification out of order at index " +
+                    std::to_string(i));
+                continue;
+            }
+            if (accessTypeOf(a) != s.type ||
+                accessReg(a) != s.reg) {
+                tc.ok = false;
+                tc.problems.push_back(
+                    "access " + std::to_string(i) +
+                    " does not match its specification (got '" +
+                    actual[i]->text + "', expected register " + s.reg +
+                    "): reordered or rewritten");
+            }
+        }
+
+        result.ok &= tc.ok;
+        result.threads.push_back(std::move(tc));
+    }
+    return result;
+}
+
+std::string
+CheckResult::str() const
+{
+    std::string out = ok ? "optcheck: OK\n" : "optcheck: FAILED\n";
+    for (size_t t = 0; t < threads.size(); ++t) {
+        for (const auto &p : threads[t].problems)
+            out += "  T" + std::to_string(t) + ": " + p + "\n";
+    }
+    return out;
+}
+
+} // namespace gpulitmus::opt

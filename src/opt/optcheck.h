@@ -1,0 +1,82 @@
+/**
+ * @file
+ * optcheck (Sec. 4.4): detects whether the assembler optimised a
+ * litmus test in a way that alters its meaning.
+ *
+ * A specification is embedded into the compiled code as a sequence of
+ * xor instructions, one per memory access, placed at the end of each
+ * thread. The integer literal of each xor encodes which register the
+ * access uses, what type of instruction it is, and its position in
+ * the order of memory accesses; a magic constant distinguishes the
+ * markers from ordinary xors. optcheck then disassembles the binary
+ * and checks the actual access sequence against the specification,
+ * reporting removals and reorderings.
+ */
+
+#ifndef GPULITMUS_OPT_OPTCHECK_H
+#define GPULITMUS_OPT_OPTCHECK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+#include "opt/sass.h"
+
+namespace gpulitmus::opt {
+
+/** The magic constant marking specification xors. */
+constexpr uint32_t kSpecMagic = 0x07f3a000;
+constexpr uint32_t kSpecMagicMask = 0xfffff000;
+
+/** Instruction-type codes carried in the spec word. */
+enum class AccessType : uint32_t {
+    LoadCg = 0x0,  ///< load with cache operator .cg
+    LoadCa = 0x1,  ///< load with cache operator .ca
+    LoadOther = 0x2,
+    Store = 0x3,
+    Atomic = 0x4,
+};
+
+/** One decoded specification entry. */
+struct SpecEntry
+{
+    std::string reg;     ///< register the access uses
+    AccessType type = AccessType::LoadOther;
+    int position = 0;    ///< index in the intended access order
+};
+
+/** Encode one entry into the spec word (low 12 bits: type<<8|pos). */
+uint32_t encodeSpec(AccessType type, int position);
+
+/** Classify a PTX access for the spec. */
+AccessType accessTypeOf(const ptx::Instruction &in);
+
+/** Append the xor specification markers to each SASS thread. */
+void embedSpecification(const litmus::Test &test, SassProgram &prog);
+
+/** Per-thread verdict of the conformance check. */
+struct ThreadCheck
+{
+    bool ok = true;
+    std::vector<std::string> problems;
+};
+
+struct CheckResult
+{
+    bool ok = true;
+    std::vector<ThreadCheck> threads;
+
+    std::string str() const;
+};
+
+/**
+ * Check a compiled program against its embedded specification:
+ * every specified access must be present, in specification order,
+ * using the specified register.
+ */
+CheckResult optcheck(const SassProgram &prog);
+
+} // namespace gpulitmus::opt
+
+#endif // GPULITMUS_OPT_OPTCHECK_H

@@ -1,0 +1,223 @@
+#include "opt/ptxas.h"
+
+#include "common/log.h"
+#include "opt/optcheck.h"
+
+namespace gpulitmus::opt {
+
+namespace {
+
+using ptx::Instruction;
+using ptx::Opcode;
+
+/** Is this ALU instruction's result provably zero by an intra-thread
+ * analysis? (xor r, a, a and and r, a, 0 are; and r, a, 0x80000000 is
+ * not — a's high bit is unknown without inter-thread reasoning.) */
+bool
+provablyZero(const Instruction &in)
+{
+    if (in.op == Opcode::Xor && in.srcs.size() == 2 &&
+        in.srcs[0] == in.srcs[1])
+        return true;
+    if (in.op == Opcode::And && in.srcs.size() == 2) {
+        for (const auto &s : in.srcs) {
+            if (s.isImm() && s.imm == 0)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::string
+sassText(const Instruction &in)
+{
+    // A light SASS-flavoured rendering: LD/ST/ATOM/MEMBAR/IMAD...
+    switch (in.op) {
+      case Opcode::Ld:
+        return "LD.E" +
+               (in.cacheOp == ptx::CacheOp::Cg ? std::string(".CG")
+                                               : std::string("")) +
+               " " + in.dst + ", [" + in.addr.str() + "]";
+      case Opcode::St:
+        return "ST.E" +
+               (in.cacheOp == ptx::CacheOp::Cg ? std::string(".CG")
+                                               : std::string("")) +
+               " [" + in.addr.str() + "], " + in.srcs[0].str();
+      case Opcode::AtomCas:
+        return "ATOM.E.CAS " + in.dst + ", [" + in.addr.str() + "], " +
+               in.srcs[0].str() + ", " + in.srcs[1].str();
+      case Opcode::AtomExch:
+        return "ATOM.E.EXCH " + in.dst + ", [" + in.addr.str() +
+               "], " + in.srcs[0].str();
+      case Opcode::AtomInc:
+        return "RED.E.INC [" + in.addr.str() + "]";
+      case Opcode::AtomAdd:
+        return "RED.E.ADD [" + in.addr.str() + "], " +
+               in.srcs[0].str();
+      case Opcode::Membar:
+        return "MEMBAR." + ptx::toString(in.scope);
+      default:
+        return in.str();
+    }
+}
+
+} // anonymous namespace
+
+PtxasOptions
+optionsFor(const sim::ChipProfile &chip)
+{
+    PtxasOptions opts;
+    opts.sdkVersion = chip.sdk;
+    opts.targetMaxwell = chip.arch == "Maxwell";
+    return opts;
+}
+
+SassProgram
+assemble(const litmus::Test &test, const PtxasOptions &opts)
+{
+    SassProgram out;
+
+    for (int t = 0; t < test.program.numThreads(); ++t) {
+        const auto &prog = test.program.threads[t];
+        SassThread st;
+
+        // Determine dead ALU chains at -O3: instructions whose result
+        // is provably zero, plus pure forwarders of such values.
+        std::vector<bool> dead(prog.instrs.size(), false);
+        if (opts.optLevel >= 3) {
+            std::map<std::string, bool> zero_regs;
+            for (size_t i = 0; i < prog.instrs.size(); ++i) {
+                const Instruction &in = prog.instrs[i];
+                if (provablyZero(in)) {
+                    dead[i] = true;
+                    zero_regs[in.dst] = true;
+                    continue;
+                }
+                // cvt/mov of a zero register forwards zero.
+                if ((in.op == Opcode::Cvt || in.op == Opcode::Mov) &&
+                    in.srcs.size() == 1 && in.srcs[0].isReg() &&
+                    zero_regs.count(in.srcs[0].reg)) {
+                    dead[i] = true;
+                    zero_regs[in.dst] = true;
+                    continue;
+                }
+                // add r, r, zero-reg is the identity.
+                if (in.op == Opcode::Add && in.srcs.size() == 2 &&
+                    in.srcs[0].isReg() && in.srcs[1].isReg() &&
+                    in.srcs[0].reg == in.dst &&
+                    zero_regs.count(in.srcs[1].reg)) {
+                    dead[i] = true;
+                    continue;
+                }
+                if (!in.dst.empty())
+                    zero_regs.erase(in.dst);
+            }
+        }
+
+        int filler = 0;
+        for (size_t i = 0; i < prog.instrs.size(); ++i) {
+            const Instruction &in = prog.instrs[i];
+            if (dead[i]) {
+                out.notes.push_back(
+                    "T" + std::to_string(t) + ": -O3 eliminated '" +
+                    in.str() + "' (provably zero result)");
+                continue;
+            }
+            SassInstr si;
+            si.ptx = in;
+            if (in.isMemAccess())
+                si.kind = SassInstr::Kind::MemAccess;
+            else if (in.isFence())
+                si.kind = SassInstr::Kind::Fence;
+            else
+                si.kind = SassInstr::Kind::Alu;
+            si.text = sassText(in);
+
+            if (opts.optLevel == 0 && in.isMemAccess() && !st.instrs.empty()) {
+                // -O0 separates accesses with spill traffic.
+                for (int k = 0; k < 3; ++k) {
+                    SassInstr f;
+                    f.kind = SassInstr::Kind::Filler;
+                    f.text = "MOV R" + std::to_string(60 + filler % 4) +
+                             ", R" + std::to_string(filler % 8) +
+                             "  // spill";
+                    ++filler;
+                    st.instrs.push_back(f);
+                }
+            }
+            st.instrs.push_back(std::move(si));
+        }
+
+        // The CUDA 5.5 / Maxwell bug: adjacent volatile loads from the
+        // same address are swapped (Sec. 4.4; found while testing
+        // coRR; fixed in CUDA 6.0).
+        if (opts.sdkVersion == "5.5" && opts.targetMaxwell &&
+            opts.optLevel >= 1) {
+            for (size_t i = 0; i + 1 < st.instrs.size(); ++i) {
+                SassInstr &a = st.instrs[i];
+                SassInstr &b = st.instrs[i + 1];
+                if (a.kind == SassInstr::Kind::MemAccess &&
+                    b.kind == SassInstr::Kind::MemAccess &&
+                    a.ptx.op == Opcode::Ld && b.ptx.op == Opcode::Ld &&
+                    a.ptx.isVolatile && b.ptx.isVolatile &&
+                    a.ptx.addr == b.ptx.addr) {
+                    std::swap(a, b);
+                    out.notes.push_back(
+                        "T" + std::to_string(t) +
+                        ": CUDA 5.5 reordered volatile loads from the"
+                        " same address");
+                    break;
+                }
+            }
+        }
+
+        out.threads.push_back(std::move(st));
+    }
+
+    if (opts.embedSpec)
+        embedSpecification(test, out);
+    return out;
+}
+
+litmus::Test
+sassToTest(const litmus::Test &original, const SassProgram &prog)
+{
+    litmus::Test out = original;
+    out.name = original.name + "+sass";
+    out.program.threads.clear();
+    for (const auto &thread : prog.threads) {
+        ptx::ThreadProgram tp;
+        for (const auto &in : thread.instrs) {
+            switch (in.kind) {
+              case SassInstr::Kind::MemAccess:
+              case SassInstr::Kind::Fence:
+              case SassInstr::Kind::Alu:
+                tp.append(in.ptx);
+                break;
+              case SassInstr::Kind::Filler:
+              case SassInstr::Kind::Spec:
+                break;
+            }
+        }
+        out.program.threads.push_back(std::move(tp));
+    }
+    out.validate();
+    return out;
+}
+
+std::string
+SassProgram::disassemble() const
+{
+    std::string out;
+    for (size_t t = 0; t < threads.size(); ++t) {
+        out += "// --- thread " + std::to_string(t) + " ---\n";
+        for (const auto &i : threads[t].instrs) {
+            out += "    " + i.text + "\n";
+        }
+    }
+    for (const auto &n : notes)
+        out += "// note: " + n + "\n";
+    return out;
+}
+
+} // namespace gpulitmus::opt

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The mock ptxas assembler: lowers PTX litmus threads to SASS with
+ * optimisation behaviour modelled on Sec. 4.4 of the paper:
+ *
+ * - at -O0, each PTX access is lowered to a SASS access but adjacent
+ *   accesses are separated by several filler instructions (spills and
+ *   address recomputations) — undesirable for testing;
+ * - at -O3, filler is optimised away; false dependencies whose
+ *   nullness is provable *intra-thread* (the xor-with-self scheme of
+ *   Fig. 13a) are eliminated, removing the dependency, while the
+ *   and-with-high-bit scheme of Fig. 13b survives (proving it zero
+ *   would need an inter-thread analysis);
+ * - with CUDA SDK 5.5 targeting Maxwell, adjacent volatile loads from
+ *   the same address are (incorrectly) reordered — the compiler bug
+ *   the paper found while testing coRR.
+ */
+
+#ifndef GPULITMUS_OPT_PTXAS_H
+#define GPULITMUS_OPT_PTXAS_H
+
+#include "litmus/test.h"
+#include "opt/sass.h"
+#include "sim/chip.h"
+
+namespace gpulitmus::opt {
+
+struct PtxasOptions
+{
+    int optLevel = 3;            ///< -O0 .. -O3
+    std::string sdkVersion = "6.0";
+    bool targetMaxwell = false;  ///< -arch=sm_50
+    bool embedSpec = true;       ///< add the optcheck xor markers
+};
+
+/** Assemble a litmus test's threads to SASS. */
+SassProgram assemble(const litmus::Test &test,
+                     const PtxasOptions &opts = {});
+
+/** ptxas options matching how a chip was driven in Tab. 4. */
+PtxasOptions optionsFor(const sim::ChipProfile &chip);
+
+/**
+ * Rebuild a runnable litmus test from compiled SASS (filler and spec
+ * markers dropped): what the hardware actually executes, for running
+ * compiled tests on the simulator.
+ */
+litmus::Test sassToTest(const litmus::Test &original,
+                        const SassProgram &prog);
+
+} // namespace gpulitmus::opt
+
+#endif // GPULITMUS_OPT_PTXAS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A SASS-like machine-code representation produced by the mock ptxas
+ * assembler (Sec. 4.4 background).
+ *
+ * Real SASS is undocumented; the paper inspects it with cuobjdump and
+ * only needs the sequence of memory accesses plus the embedded
+ * specification instructions. Our SASS mirrors that: each thread is a
+ * list of instructions that are either lowered memory accesses,
+ * lowered ALU/control instructions, ptxas-inserted filler (spills and
+ * address recomputations at -O0), or the xor specification markers.
+ */
+
+#ifndef GPULITMUS_OPT_SASS_H
+#define GPULITMUS_OPT_SASS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptx/instruction.h"
+
+namespace gpulitmus::opt {
+
+/** One SASS instruction. */
+struct SassInstr
+{
+    enum class Kind {
+        MemAccess, ///< lowered ld/st/atom (semantic payload in ptx)
+        Fence,     ///< lowered membar
+        Alu,       ///< lowered ALU / control instruction
+        Filler,    ///< assembler-inserted spill / recomputation
+        Spec,      ///< an embedded xor specification instruction
+    };
+
+    Kind kind = Kind::Alu;
+    ptx::Instruction ptx; ///< the semantic payload (for Mem/Fence/Alu)
+    std::string text;     ///< rendered SASS-style text
+    uint32_t specWord = 0; ///< for Kind::Spec: the encoded constant
+    std::string specReg;   ///< for Kind::Spec: the register operand
+};
+
+/** One thread's SASS code. */
+struct SassThread
+{
+    std::vector<SassInstr> instrs;
+};
+
+/** A whole compiled litmus test. */
+struct SassProgram
+{
+    std::vector<SassThread> threads;
+    /** Human-readable notes about transformations applied. */
+    std::vector<std::string> notes;
+
+    /** cuobjdump-style disassembly listing. */
+    std::string disassemble() const;
+};
+
+} // namespace gpulitmus::opt
+
+#endif // GPULITMUS_OPT_SASS_H

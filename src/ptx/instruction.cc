@@ -1,0 +1,352 @@
+#include "ptx/instruction.h"
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace gpulitmus::ptx {
+
+Operand
+Operand::makeReg(std::string name)
+{
+    Operand o;
+    o.kind = Kind::Reg;
+    o.reg = std::move(name);
+    return o;
+}
+
+Operand
+Operand::makeImm(int64_t value)
+{
+    Operand o;
+    o.kind = Kind::Imm;
+    o.imm = value;
+    return o;
+}
+
+Operand
+Operand::makeSym(std::string name)
+{
+    Operand o;
+    o.kind = Kind::Sym;
+    o.sym = std::move(name);
+    return o;
+}
+
+std::string
+Operand::str() const
+{
+    switch (kind) {
+      case Kind::None: return "<none>";
+      case Kind::Reg: return reg;
+      case Kind::Imm: return std::to_string(imm);
+      case Kind::Sym: return sym;
+    }
+    panic("unknown Operand kind");
+}
+
+bool
+Instruction::isMemAccess() const
+{
+    switch (op) {
+      case Opcode::Ld:
+      case Opcode::St:
+      case Opcode::AtomCas:
+      case Opcode::AtomExch:
+      case Opcode::AtomInc:
+      case Opcode::AtomAdd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::isAtomic() const
+{
+    switch (op) {
+      case Opcode::AtomCas:
+      case Opcode::AtomExch:
+      case Opcode::AtomInc:
+      case Opcode::AtomAdd:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+Instruction::readsMemory() const
+{
+    return op == Opcode::Ld || isAtomic();
+}
+
+bool
+Instruction::writesMemory() const
+{
+    return op == Opcode::St || isAtomic();
+}
+
+std::vector<std::string>
+Instruction::regsRead() const
+{
+    std::vector<std::string> regs;
+    if (hasGuard)
+        regs.push_back(guardReg);
+    if (addr.isReg())
+        regs.push_back(addr.reg);
+    for (const auto &s : srcs) {
+        if (s.isReg())
+            regs.push_back(s.reg);
+    }
+    return regs;
+}
+
+std::string
+Instruction::regWritten() const
+{
+    return dst;
+}
+
+std::string
+Instruction::str() const
+{
+    std::string out;
+    if (hasGuard) {
+        out += "@";
+        if (guardNegated)
+            out += "!";
+        out += guardReg + " ";
+    }
+
+    std::string mnemonic = toString(op);
+    if (isVolatile)
+        mnemonic += ".volatile";
+    if (op == Opcode::Membar) {
+        mnemonic += "." + toString(scope);
+    } else if (isMemAccess()) {
+        if (space != Space::Generic)
+            mnemonic += "." + toString(space);
+        if (cacheOp != CacheOp::None)
+            mnemonic += "." + toString(cacheOp);
+        mnemonic += "." + toString(type);
+    } else if (op != Opcode::Bra && op != Opcode::Nop) {
+        mnemonic += "." + toString(type);
+    }
+    out += mnemonic;
+
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Membar:
+        break;
+      case Opcode::Ld:
+        out += " " + dst + ",[" + addr.str() + "]";
+        break;
+      case Opcode::St:
+        out += " [" + addr.str() + "]," + srcs.at(0).str();
+        break;
+      case Opcode::AtomCas:
+        out += " " + dst + ",[" + addr.str() + "]," + srcs.at(0).str() +
+               "," + srcs.at(1).str();
+        break;
+      case Opcode::AtomExch:
+      case Opcode::AtomAdd:
+        out += " " + dst + ",[" + addr.str() + "]," + srcs.at(0).str();
+        break;
+      case Opcode::AtomInc:
+        out += " " + dst + ",[" + addr.str() + "]";
+        break;
+      case Opcode::Mov:
+      case Opcode::Cvt:
+        out += " " + dst + "," + srcs.at(0).str();
+        break;
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::SetpEq:
+      case Opcode::SetpNe:
+        out += " " + dst + "," + srcs.at(0).str() + "," +
+               srcs.at(1).str();
+        break;
+      case Opcode::Bra:
+        out += " " + target;
+        break;
+    }
+    return out;
+}
+
+namespace build {
+
+Instruction
+ld(std::string dst, Operand addr, CacheOp c)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.dst = std::move(dst);
+    i.addr = std::move(addr);
+    i.cacheOp = c;
+    return i;
+}
+
+Instruction
+ldVolatile(std::string dst, Operand addr)
+{
+    Instruction i = ld(std::move(dst), std::move(addr), CacheOp::None);
+    i.isVolatile = true;
+    return i;
+}
+
+Instruction
+st(Operand addr, Operand value, CacheOp c)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.addr = std::move(addr);
+    i.srcs.push_back(std::move(value));
+    i.cacheOp = c;
+    return i;
+}
+
+Instruction
+stVolatile(Operand addr, Operand value)
+{
+    Instruction i = st(std::move(addr), std::move(value), CacheOp::None);
+    i.isVolatile = true;
+    return i;
+}
+
+Instruction
+atomCas(std::string dst, Operand addr, Operand cmp, Operand swap)
+{
+    Instruction i;
+    i.op = Opcode::AtomCas;
+    i.dst = std::move(dst);
+    i.addr = std::move(addr);
+    i.srcs.push_back(std::move(cmp));
+    i.srcs.push_back(std::move(swap));
+    i.type = DataType::B32;
+    return i;
+}
+
+Instruction
+atomExch(std::string dst, Operand addr, Operand value)
+{
+    Instruction i;
+    i.op = Opcode::AtomExch;
+    i.dst = std::move(dst);
+    i.addr = std::move(addr);
+    i.srcs.push_back(std::move(value));
+    i.type = DataType::B32;
+    return i;
+}
+
+Instruction
+atomInc(std::string dst, Operand addr)
+{
+    Instruction i;
+    i.op = Opcode::AtomInc;
+    i.dst = std::move(dst);
+    i.addr = std::move(addr);
+    i.type = DataType::U32;
+    return i;
+}
+
+Instruction
+membar(Scope s)
+{
+    Instruction i;
+    i.op = Opcode::Membar;
+    i.scope = s;
+    return i;
+}
+
+Instruction
+mov(std::string dst, Operand src)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.dst = std::move(dst);
+    i.srcs.push_back(std::move(src));
+    return i;
+}
+
+namespace {
+
+Instruction
+alu(Opcode op, std::string dst, Operand a, Operand b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = std::move(dst);
+    i.srcs.push_back(std::move(a));
+    i.srcs.push_back(std::move(b));
+    return i;
+}
+
+} // anonymous namespace
+
+Instruction
+add(std::string dst, Operand a, Operand b)
+{
+    return alu(Opcode::Add, std::move(dst), std::move(a), std::move(b));
+}
+
+Instruction
+and_(std::string dst, Operand a, Operand b)
+{
+    Instruction i =
+        alu(Opcode::And, std::move(dst), std::move(a), std::move(b));
+    i.type = DataType::B32;
+    return i;
+}
+
+Instruction
+xor_(std::string dst, Operand a, Operand b)
+{
+    Instruction i =
+        alu(Opcode::Xor, std::move(dst), std::move(a), std::move(b));
+    i.type = DataType::B32;
+    return i;
+}
+
+Instruction
+cvt(std::string dst, Operand src)
+{
+    Instruction i;
+    i.op = Opcode::Cvt;
+    i.dst = std::move(dst);
+    i.srcs.push_back(std::move(src));
+    i.type = DataType::U64;
+    return i;
+}
+
+Instruction
+setpEq(std::string dst, Operand a, Operand b)
+{
+    Instruction i =
+        alu(Opcode::SetpEq, std::move(dst), std::move(a), std::move(b));
+    return i;
+}
+
+Instruction
+bra(std::string label)
+{
+    Instruction i;
+    i.op = Opcode::Bra;
+    i.target = std::move(label);
+    return i;
+}
+
+Instruction
+guarded(std::string pred, bool negated, Instruction inner)
+{
+    inner.hasGuard = true;
+    inner.guardReg = std::move(pred);
+    inner.guardNegated = negated;
+    return inner;
+}
+
+} // namespace build
+
+} // namespace gpulitmus::ptx

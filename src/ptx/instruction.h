@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The PTX instruction representation used across the simulator, the
+ * axiomatic engine, the mock assembler and the test generator.
+ */
+
+#ifndef GPULITMUS_PTX_INSTRUCTION_H
+#define GPULITMUS_PTX_INSTRUCTION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ptx/types.h"
+
+namespace gpulitmus::ptx {
+
+/**
+ * An instruction operand: a register name, an immediate, or a symbolic
+ * memory location (the paper's shorthand "st.cg [x],1" addresses the
+ * litmus location x directly).
+ */
+struct Operand
+{
+    enum class Kind { None, Reg, Imm, Sym };
+
+    Kind kind = Kind::None;
+    std::string reg;   ///< register name when kind == Reg
+    int64_t imm = 0;   ///< immediate value when kind == Imm
+    std::string sym;   ///< location name when kind == Sym
+
+    static Operand makeReg(std::string name);
+    static Operand makeImm(int64_t value);
+    static Operand makeSym(std::string name);
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isSym() const { return kind == Kind::Sym; }
+    bool isNone() const { return kind == Kind::None; }
+
+    std::string str() const;
+    bool operator==(const Operand &other) const = default;
+};
+
+/**
+ * One PTX instruction. Guarded (predicated) execution is expressed by
+ * the guard fields: "@p ld ..." executes only when register p is
+ * non-zero; "@!p ..." only when p is zero.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    DataType type = DataType::S32;
+    CacheOp cacheOp = CacheOp::None;
+    Scope scope = Scope::Gl;        ///< membar / atom scope
+    Space space = Space::Generic;   ///< declared state space, if any
+    bool isVolatile = false;
+
+    bool hasGuard = false;
+    bool guardNegated = false;
+    std::string guardReg;
+
+    std::string dst;        ///< destination register (or predicate)
+    Operand addr;           ///< memory operand for ld/st/atom
+    std::vector<Operand> srcs; ///< value operands
+    std::string target;     ///< branch target label for bra
+
+    /** True for ld / st / atom.* (instructions that touch memory). */
+    bool isMemAccess() const;
+    /** True for atom.* (read-modify-write). */
+    bool isAtomic() const;
+    /** True if the instruction reads memory (ld or atom.*). */
+    bool readsMemory() const;
+    /** True if the instruction writes memory (st or atom.*). */
+    bool writesMemory() const;
+    /** True for membar. */
+    bool isFence() const { return op == Opcode::Membar; }
+
+    /** All register names this instruction reads (incl. guard). */
+    std::vector<std::string> regsRead() const;
+    /** Register name written, or empty. */
+    std::string regWritten() const;
+
+    /** Canonical text, e.g. "@!p0 ld.cg.s32 r1,[x]". */
+    std::string str() const;
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Convenience constructors for the instruction forms the paper uses. */
+namespace build {
+
+Instruction ld(std::string dst, Operand addr, CacheOp c = CacheOp::Cg);
+Instruction ldVolatile(std::string dst, Operand addr);
+Instruction st(Operand addr, Operand value, CacheOp c = CacheOp::Cg);
+Instruction stVolatile(Operand addr, Operand value);
+Instruction atomCas(std::string dst, Operand addr, Operand cmp,
+                    Operand swap);
+Instruction atomExch(std::string dst, Operand addr, Operand value);
+Instruction atomInc(std::string dst, Operand addr);
+Instruction membar(Scope s);
+Instruction mov(std::string dst, Operand src);
+Instruction add(std::string dst, Operand a, Operand b);
+Instruction and_(std::string dst, Operand a, Operand b);
+Instruction xor_(std::string dst, Operand a, Operand b);
+Instruction cvt(std::string dst, Operand src);
+Instruction setpEq(std::string dst, Operand a, Operand b);
+Instruction bra(std::string label);
+
+/** Attach a guard to an instruction ("@p" / "@!p"). */
+Instruction guarded(std::string pred, bool negated, Instruction inner);
+
+} // namespace build
+
+} // namespace gpulitmus::ptx
+
+#endif // GPULITMUS_PTX_INSTRUCTION_H

@@ -1,0 +1,417 @@
+#include "ptx/parser.h"
+
+#include <cctype>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace gpulitmus::ptx {
+
+namespace {
+
+bool
+isRegisterName(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    char c = s[0];
+    if (c != 'r' && c != 'p' && c != '%')
+        return false;
+    // Register names: r0, r12, p, p4, %r1...
+    std::string body = c == '%' ? s.substr(1) : s;
+    if (body.empty())
+        return false;
+    if (body[0] != 'r' && body[0] != 'p')
+        return false;
+    for (size_t i = 1; i < body.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(body[i])))
+            return false;
+    }
+    return true;
+}
+
+Operand
+parseOperand(const std::string &tok)
+{
+    std::string t = trim(tok);
+    if (auto v = parseInt(t))
+        return Operand::makeImm(*v);
+    if (isRegisterName(t))
+        return Operand::makeReg(t[0] == '%' ? t.substr(1) : t);
+    return Operand::makeSym(t);
+}
+
+/** Parse "[x]" or "[r1]" into an operand; empty optional otherwise. */
+std::optional<Operand>
+parseAddrOperand(const std::string &tok)
+{
+    std::string t = trim(tok);
+    if (t.size() < 3 || t.front() != '[' || t.back() != ']')
+        return std::nullopt;
+    return parseOperand(t.substr(1, t.size() - 2));
+}
+
+std::optional<DataType>
+parseType(const std::string &seg)
+{
+    if (seg == "s32") return DataType::S32;
+    if (seg == "u32") return DataType::U32;
+    if (seg == "b32") return DataType::B32;
+    if (seg == "s64") return DataType::S64;
+    if (seg == "u64") return DataType::U64;
+    if (seg == "b64") return DataType::B64;
+    if (seg == "pred") return DataType::Pred;
+    return std::nullopt;
+}
+
+/** Split "ld.global.cg.s32" into dot-separated segments. */
+std::vector<std::string>
+segments(const std::string &mnemonic)
+{
+    return split(mnemonic, '.');
+}
+
+bool
+fail(ParseError *error, const std::string &msg)
+{
+    if (error)
+        error->message = msg;
+    return false;
+}
+
+/**
+ * Decode the mnemonic (first whitespace token) into opcode plus
+ * modifiers. Returns false with a diagnostic on failure.
+ */
+bool
+decodeMnemonic(const std::string &mnemonic, Instruction &instr,
+               ParseError *error)
+{
+    auto segs = segments(mnemonic);
+    if (segs.empty())
+        return fail(error, "empty mnemonic");
+
+    const std::string &head = segs[0];
+    size_t next = 1;
+
+    if (head == "ld") {
+        instr.op = Opcode::Ld;
+    } else if (head == "st") {
+        instr.op = Opcode::St;
+    } else if (head == "atom") {
+        if (segs.size() < 2)
+            return fail(error, "atom needs a sub-operation");
+        // Optional scope/space segments may precede the sub-op in real
+        // PTX (atom.global.cas); scan for the sub-op.
+        bool found = false;
+        for (size_t i = 1; i < segs.size(); ++i) {
+            if (segs[i] == "cas") { instr.op = Opcode::AtomCas; }
+            else if (segs[i] == "exch") { instr.op = Opcode::AtomExch; }
+            else if (segs[i] == "inc") { instr.op = Opcode::AtomInc; }
+            else if (segs[i] == "add") { instr.op = Opcode::AtomAdd; }
+            else
+                continue;
+            found = true;
+            break;
+        }
+        if (!found)
+            return fail(error, "unknown atom sub-operation in '" +
+                                   mnemonic + "'");
+        // PTX atomics default to the bit-type; atom.inc is unsigned.
+        instr.type = instr.op == Opcode::AtomInc ? DataType::U32
+                                                 : DataType::B32;
+    } else if (head == "membar") {
+        instr.op = Opcode::Membar;
+    } else if (head == "mov") {
+        instr.op = Opcode::Mov;
+    } else if (head == "add") {
+        instr.op = Opcode::Add;
+    } else if (head == "sub") {
+        instr.op = Opcode::Sub;
+    } else if (head == "and") {
+        instr.op = Opcode::And;
+    } else if (head == "or") {
+        instr.op = Opcode::Or;
+    } else if (head == "xor") {
+        instr.op = Opcode::Xor;
+    } else if (head == "setp") {
+        if (segs.size() < 2)
+            return fail(error, "setp needs a comparison");
+        if (segs[1] == "eq")
+            instr.op = Opcode::SetpEq;
+        else if (segs[1] == "ne")
+            instr.op = Opcode::SetpNe;
+        else
+            return fail(error, "unsupported setp comparison '" +
+                                   segs[1] + "'");
+        next = 2;
+    } else if (head == "cvt") {
+        instr.op = Opcode::Cvt;
+    } else if (head == "bra") {
+        instr.op = Opcode::Bra;
+    } else if (head == "nop") {
+        instr.op = Opcode::Nop;
+    } else {
+        return fail(error, "unknown opcode '" + head + "'");
+    }
+
+    for (size_t i = next; i < segs.size(); ++i) {
+        const std::string &seg = segs[i];
+        if (seg == "cas" || seg == "exch" || seg == "inc" ||
+            seg == "add" || seg == "eq" || seg == "ne") {
+            continue; // already consumed as sub-op
+        } else if (seg == "volatile") {
+            instr.isVolatile = true;
+        } else if (seg == "global") {
+            instr.space = Space::Global;
+        } else if (seg == "shared") {
+            instr.space = Space::Shared;
+        } else if (seg == "ca") {
+            instr.cacheOp = CacheOp::Ca;
+        } else if (seg == "cg") {
+            instr.cacheOp = CacheOp::Cg;
+        } else if (seg == "wb") {
+            instr.cacheOp = CacheOp::Wb;
+        } else if (seg == "cv") {
+            instr.cacheOp = CacheOp::Cv;
+        } else if (seg == "cta") {
+            instr.scope = Scope::Cta;
+        } else if (seg == "gl") {
+            instr.scope = Scope::Gl;
+        } else if (seg == "sys") {
+            instr.scope = Scope::Sys;
+        } else if (auto t = parseType(seg)) {
+            instr.type = *t;
+        } else {
+            return fail(error,
+                        "unknown mnemonic segment '" + seg + "'");
+        }
+    }
+    return true;
+}
+
+/** Split the operand part on top-level commas (brackets protected). */
+std::vector<std::string>
+splitOperands(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '[')
+            ++depth;
+        else if (c == ']')
+            --depth;
+        if (c == ',' && depth == 0) {
+            out.push_back(trim(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!trim(cur).empty())
+        out.push_back(trim(cur));
+    return out;
+}
+
+} // anonymous namespace
+
+std::optional<Instruction>
+parseInstruction(const std::string &text, ParseError *error)
+{
+    std::string line = trim(text);
+    if (line.empty()) {
+        if (error)
+            error->message = "empty instruction";
+        return std::nullopt;
+    }
+
+    Instruction instr;
+
+    // Guard prefix: "@p", "@!p" or the paper's bare "p1 " / "!p4 ".
+    if (line[0] == '@' || line[0] == '!') {
+        bool at = line[0] == '@';
+        size_t pos = at ? 1 : 0;
+        bool neg = false;
+        if (pos < line.size() && line[pos] == '!') {
+            neg = true;
+            ++pos;
+        }
+        if (!at && !neg) {
+            // unreachable; bare '!' handled above
+        }
+        size_t end = line.find_first_of(" \t", pos);
+        if (end == std::string::npos) {
+            if (error)
+                error->message = "guard with no instruction";
+            return std::nullopt;
+        }
+        instr.hasGuard = true;
+        instr.guardNegated = neg || (!at && line[0] == '!');
+        instr.guardReg = line.substr(pos, end - pos);
+        line = trim(line.substr(end));
+    } else {
+        // Bare guard: first token is a register name followed by more.
+        size_t sp = line.find_first_of(" \t");
+        if (sp != std::string::npos) {
+            std::string first = line.substr(0, sp);
+            if (isRegisterName(first)) {
+                instr.hasGuard = true;
+                instr.guardNegated = false;
+                instr.guardReg = first;
+                line = trim(line.substr(sp));
+            }
+        }
+    }
+
+    size_t sp = line.find_first_of(" \t");
+    std::string mnemonic = sp == std::string::npos ? line
+                                                   : line.substr(0, sp);
+    std::string rest = sp == std::string::npos
+                           ? ""
+                           : trim(line.substr(sp));
+
+    ParseError local;
+    if (!decodeMnemonic(mnemonic, instr, error ? error : &local))
+        return std::nullopt;
+
+    auto ops = splitOperands(rest);
+    auto bad = [&](const std::string &msg) -> std::optional<Instruction> {
+        if (error)
+            error->message = msg + " in '" + text + "'";
+        return std::nullopt;
+    };
+
+    switch (instr.op) {
+      case Opcode::Nop:
+      case Opcode::Membar:
+        break;
+      case Opcode::Ld: {
+        if (ops.size() != 2)
+            return bad("ld expects 2 operands");
+        instr.dst = ops[0];
+        auto a = parseAddrOperand(ops[1]);
+        if (!a)
+            return bad("ld expects [addr]");
+        instr.addr = *a;
+        break;
+      }
+      case Opcode::St: {
+        if (ops.size() != 2)
+            return bad("st expects 2 operands");
+        auto a = parseAddrOperand(ops[0]);
+        if (!a)
+            return bad("st expects [addr]");
+        instr.addr = *a;
+        instr.srcs.push_back(parseOperand(ops[1]));
+        break;
+      }
+      case Opcode::AtomCas: {
+        if (ops.size() != 4)
+            return bad("atom.cas expects 4 operands");
+        instr.dst = ops[0];
+        auto a = parseAddrOperand(ops[1]);
+        if (!a)
+            return bad("atom.cas expects [addr]");
+        instr.addr = *a;
+        instr.srcs.push_back(parseOperand(ops[2]));
+        instr.srcs.push_back(parseOperand(ops[3]));
+        break;
+      }
+      case Opcode::AtomExch:
+      case Opcode::AtomAdd: {
+        if (ops.size() != 3)
+            return bad("atom.exch/add expects 3 operands");
+        instr.dst = ops[0];
+        auto a = parseAddrOperand(ops[1]);
+        if (!a)
+            return bad("atom expects [addr]");
+        instr.addr = *a;
+        instr.srcs.push_back(parseOperand(ops[2]));
+        break;
+      }
+      case Opcode::AtomInc: {
+        if (ops.size() != 2)
+            return bad("atom.inc expects 2 operands");
+        instr.dst = ops[0];
+        auto a = parseAddrOperand(ops[1]);
+        if (!a)
+            return bad("atom.inc expects [addr]");
+        instr.addr = *a;
+        break;
+      }
+      case Opcode::Mov:
+      case Opcode::Cvt: {
+        if (ops.size() != 2)
+            return bad("mov/cvt expects 2 operands");
+        instr.dst = ops[0];
+        instr.srcs.push_back(parseOperand(ops[1]));
+        break;
+      }
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::SetpEq:
+      case Opcode::SetpNe: {
+        if (ops.size() != 3)
+            return bad("ALU op expects 3 operands");
+        instr.dst = ops[0];
+        instr.srcs.push_back(parseOperand(ops[1]));
+        instr.srcs.push_back(parseOperand(ops[2]));
+        break;
+      }
+      case Opcode::Bra: {
+        if (ops.size() != 1)
+            return bad("bra expects a label");
+        instr.target = ops[0];
+        break;
+      }
+    }
+    return instr;
+}
+
+std::optional<ThreadProgram>
+parseThread(const std::string &text, ParseError *error)
+{
+    ThreadProgram prog;
+    std::string normalized = text;
+    for (auto &c : normalized) {
+        if (c == ';')
+            c = '\n';
+    }
+    for (auto &raw : split(normalized, '\n')) {
+        std::string line = trim(raw);
+        // Strip comments.
+        auto comment = line.find("//");
+        if (comment != std::string::npos)
+            line = trim(line.substr(0, comment));
+        if (line.empty())
+            continue;
+        // Leading label "name:".
+        auto colon = line.find(':');
+        if (colon != std::string::npos) {
+            std::string head = trim(line.substr(0, colon));
+            bool plausible = !head.empty();
+            for (char c : head) {
+                if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                    c != '_')
+                    plausible = false;
+            }
+            if (plausible) {
+                prog.label(head);
+                line = trim(line.substr(colon + 1));
+                if (line.empty())
+                    continue;
+            }
+        }
+        auto instr = parseInstruction(line, error);
+        if (!instr)
+            return std::nullopt;
+        prog.append(std::move(*instr));
+    }
+    return prog;
+}
+
+} // namespace gpulitmus::ptx

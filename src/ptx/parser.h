@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text parser for single PTX instructions and instruction sequences.
+ *
+ * Accepts both real PTX spellings ("ld.global.cg.s32 r1,[x]",
+ * "@!p0 membar.gl") and the paper's figure shorthand ("ld.cg r1,[x]").
+ * Labels are written "name:" on their own line or prefixed to an
+ * instruction.
+ */
+
+#ifndef GPULITMUS_PTX_PARSER_H
+#define GPULITMUS_PTX_PARSER_H
+
+#include <optional>
+#include <string>
+
+#include "ptx/program.h"
+
+namespace gpulitmus::ptx {
+
+/** Result of a parse attempt: the value or a diagnostic. */
+struct ParseError
+{
+    std::string message;
+};
+
+/**
+ * Parse one instruction from text. Returns std::nullopt and fills
+ * *error (when non-null) on failure.
+ */
+std::optional<Instruction> parseInstruction(const std::string &text,
+                                            ParseError *error = nullptr);
+
+/**
+ * Parse a newline- or semicolon-separated instruction sequence into a
+ * thread program, handling labels. Calls fatal() on malformed input
+ * unless error is non-null.
+ */
+std::optional<ThreadProgram> parseThread(const std::string &text,
+                                         ParseError *error = nullptr);
+
+} // namespace gpulitmus::ptx
+
+#endif // GPULITMUS_PTX_PARSER_H

@@ -1,0 +1,90 @@
+#include "ptx/program.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gpulitmus::ptx {
+
+int
+ThreadProgram::append(Instruction instr)
+{
+    instrs.push_back(std::move(instr));
+    return static_cast<int>(instrs.size()) - 1;
+}
+
+void
+ThreadProgram::label(const std::string &name)
+{
+    if (labels.count(name))
+        fatal("duplicate label '%s'", name.c_str());
+    labels[name] = static_cast<int>(instrs.size());
+}
+
+int
+ThreadProgram::labelTarget(const std::string &name) const
+{
+    auto it = labels.find(name);
+    if (it == labels.end())
+        fatal("undefined label '%s'", name.c_str());
+    return it->second;
+}
+
+std::string
+ThreadProgram::str() const
+{
+    std::string out;
+    std::map<int, std::string> by_index;
+    for (const auto &[name, idx] : labels)
+        by_index[idx] = name;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        auto it = by_index.find(static_cast<int>(i));
+        if (it != by_index.end())
+            out += it->second + ":\n";
+        out += "  " + instrs[i].str() + "\n";
+    }
+    return out;
+}
+
+int
+Program::numInstructions() const
+{
+    int n = 0;
+    for (const auto &t : threads)
+        n += static_cast<int>(t.instrs.size());
+    return n;
+}
+
+std::string
+Program::str() const
+{
+    // Render threads as side-by-side columns.
+    std::vector<std::vector<std::string>> cols;
+    size_t max_rows = 0;
+    for (size_t t = 0; t < threads.size(); ++t) {
+        std::vector<std::string> col;
+        col.push_back("T" + std::to_string(t));
+        for (const auto &i : threads[t].instrs)
+            col.push_back(i.str());
+        max_rows = std::max(max_rows, col.size());
+        cols.push_back(std::move(col));
+    }
+    std::vector<size_t> widths(cols.size(), 0);
+    for (size_t c = 0; c < cols.size(); ++c)
+        for (const auto &s : cols[c])
+            widths[c] = std::max(widths[c], s.size());
+
+    std::string out;
+    for (size_t r = 0; r < max_rows; ++r) {
+        for (size_t c = 0; c < cols.size(); ++c) {
+            std::string cell = r < cols[c].size() ? cols[c][r] : "";
+            out += " " + cell +
+                   std::string(widths[c] - cell.size(), ' ');
+            out += c + 1 < cols.size() ? " |" : " ;";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace gpulitmus::ptx

@@ -1,0 +1,943 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gpulitmus::sim {
+
+// ---------------------------------------------------------------------
+// Incantations
+// ---------------------------------------------------------------------
+
+Incantations
+Incantations::fromColumn(int column)
+{
+    if (column < 1 || column > 16)
+        fatal("Tab. 6 column must be 1..16, got %d", column);
+    int bits = column - 1;
+    Incantations inc;
+    inc.threadRandomisation = bits & 1;
+    inc.threadSync = bits & 2;
+    inc.bankConflicts = bits & 4;
+    inc.memoryStress = bits & 8;
+    return inc;
+}
+
+int
+Incantations::column() const
+{
+    return 1 + (threadRandomisation ? 1 : 0) + (threadSync ? 2 : 0) +
+           (bankConflicts ? 4 : 0) + (memoryStress ? 8 : 0);
+}
+
+std::string
+Incantations::str() const
+{
+    std::string out;
+    auto add = [&](bool on, const char *name) {
+        if (on) {
+            if (!out.empty())
+                out += "+";
+            out += name;
+        }
+    };
+    add(memoryStress, "stress");
+    add(bankConflicts, "bank");
+    add(threadSync, "sync");
+    add(threadRandomisation, "rand");
+    return out.empty() ? "none" : out;
+}
+
+// ---------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------
+
+Machine::Machine(const ChipProfile &chip, const litmus::Test &test,
+                 MachineOptions opts)
+    : chip_(&chip), test_(&test), opts_(opts)
+{
+    compile();
+}
+
+int
+Machine::regIndex(int tid, const std::string &name)
+{
+    auto &names = regNames_[tid];
+    for (size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == name)
+            return static_cast<int>(i);
+    }
+    if (names.size() >= 64)
+        fatal("thread %d uses more than 64 registers", tid);
+    names.push_back(name);
+    return static_cast<int>(names.size()) - 1;
+}
+
+Machine::COperand
+Machine::compileOperand(const ptx::Operand &op, int tid)
+{
+    COperand c;
+    switch (op.kind) {
+      case ptx::Operand::Kind::Imm:
+        c.isImm = true;
+        c.imm = op.imm;
+        break;
+      case ptx::Operand::Kind::Sym:
+        c.isImm = true;
+        c.imm = test_->addressOf(op.sym);
+        break;
+      case ptx::Operand::Kind::Reg:
+        c.isImm = false;
+        c.reg = regIndex(tid, op.reg);
+        break;
+      case ptx::Operand::Kind::None:
+        c.isImm = true;
+        c.imm = 0;
+        break;
+    }
+    return c;
+}
+
+int
+Machine::locIndexOf(int64_t addr) const
+{
+    int64_t base = addr >= litmus::Test::sharedBase
+                       ? litmus::Test::sharedBase
+                       : litmus::Test::globalBase;
+    if (addr < litmus::Test::globalBase)
+        return -1;
+    int64_t off = addr - base;
+    if (off % litmus::Test::locStride != 0)
+        return -1;
+    int idx = static_cast<int>(off / litmus::Test::locStride);
+    if (idx < 0 || idx >= static_cast<int>(locShared_.size()))
+        return -1;
+    // The base encodes the space; check consistency.
+    bool shared = addr >= litmus::Test::sharedBase;
+    if (locShared_[idx] != shared)
+        return -1;
+    return idx;
+}
+
+void
+Machine::compile()
+{
+    int nthreads = test_->program.numThreads();
+    regNames_.resize(nthreads);
+    compiled_.resize(nthreads);
+
+    for (const auto &l : test_->locations) {
+        locShared_.push_back(l.space == litmus::MemSpace::Shared);
+        locInit_.push_back(l.init);
+    }
+
+    for (int t = 0; t < nthreads; ++t) {
+        const auto &prog = test_->program.threads[t];
+        CThread &ct = compiled_[t];
+        for (const auto &in : prog.instrs) {
+            CInstr ci;
+            ci.op = in.op;
+            ci.cacheOp = in.cacheOp;
+            ci.scope = in.scope;
+            ci.isVolatile = in.isVolatile;
+            if (in.hasGuard) {
+                ci.guardReg = regIndex(t, in.guardReg);
+                ci.guardNeg = in.guardNegated;
+            }
+            if (!in.dst.empty())
+                ci.dst = regIndex(t, in.dst);
+            if (!in.addr.isNone())
+                ci.addr = compileOperand(in.addr, t);
+            if (in.srcs.size() > 0)
+                ci.src0 = compileOperand(in.srcs[0], t);
+            if (in.srcs.size() > 1)
+                ci.src1 = compileOperand(in.srcs[1], t);
+            if (in.op == ptx::Opcode::Bra)
+                ci.braTarget = prog.labelTarget(in.target);
+            ct.instrs.push_back(ci);
+        }
+        ct.regInit.assign(regNames_[t].size(), 0);
+        for (const auto &ri : test_->regInits) {
+            if (ri.tid != t)
+                continue;
+            int idx = regIndex(t, ri.reg);
+            if (idx >= static_cast<int>(ct.regInit.size()))
+                ct.regInit.resize(idx + 1, 0);
+            ct.regInit[idx] = ri.isLocAddress
+                                  ? test_->addressOf(ri.loc)
+                                  : ri.value;
+        }
+        // regIndex may have grown the name table for init-only regs.
+        ct.regInit.resize(regNames_[t].size(), 0);
+    }
+
+    hasSameCtaPeer_.assign(nthreads, false);
+    for (int a = 0; a < nthreads; ++a) {
+        for (int b = 0; b < nthreads; ++b) {
+            if (a != b && test_->scopeTree.sameCta(a, b))
+                hasSameCtaPeer_[a] = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-run reset
+// ---------------------------------------------------------------------
+
+void
+Machine::resetRun(Rng &rng)
+{
+    int nthreads = test_->program.numThreads();
+    int nlocs = static_cast<int>(locShared_.size());
+
+    l2_.assign(nlocs, 0);
+    for (int i = 0; i < nlocs; ++i)
+        l2_[i] = locInit_[i];
+
+    int nctas = test_->scopeTree.numCtas();
+    sharedMem_.assign(nctas, std::vector<int64_t>(nlocs, 0));
+    for (auto &mem : sharedMem_) {
+        for (int i = 0; i < nlocs; ++i)
+            mem[i] = locInit_[i];
+    }
+
+    // CTA -> SM placement: distinct SMs per CTA (the scheduler
+    // spreads resident CTAs across SMs). Without thread randomisation
+    // the layout is fixed; with it, each iteration draws a fresh
+    // assignment.
+    std::vector<int> cta_sm(nctas);
+    if (opts_.inc.threadRandomisation && nctas <= chip_->numSMs) {
+        std::vector<int> sm_ids(chip_->numSMs);
+        for (int s = 0; s < chip_->numSMs; ++s)
+            sm_ids[s] = s;
+        rng.shuffle(sm_ids);
+        for (int c = 0; c < nctas; ++c)
+            cta_sm[c] = sm_ids[c];
+    } else {
+        for (int c = 0; c < nctas; ++c)
+            cta_sm[c] = c % chip_->numSMs;
+    }
+
+    sms_.assign(chip_->numSMs, SmState{});
+    for (auto &sm : sms_)
+        sm.l1.assign(nlocs, std::nullopt);
+
+    // Warm L1 lines: residue of previous iterations holding the
+    // (re-)initialised values.
+    for (auto &sm : sms_) {
+        for (int i = 0; i < nlocs; ++i) {
+            if (!locShared_[i] && rng.chance(chip_->l1WarmProb))
+                sm.l1[i] = L1Line{locInit_[i], false, false};
+        }
+    }
+
+    threads_.assign(nthreads, ThreadState{});
+    for (int t = 0; t < nthreads; ++t) {
+        ThreadState &ts = threads_[t];
+        ts.ctaId = test_->scopeTree.placement(t).cta;
+        ts.smId = cta_sm[ts.ctaId];
+        ts.regs = compiled_[t].regInit;
+        if (opts_.inc.threadSync)
+            ts.startDelay = static_cast<int>(rng.below(3));
+        else
+            ts.startDelay = static_cast<int>(
+                rng.below(static_cast<uint64_t>(opts_.skewMax)));
+    }
+}
+
+bool
+Machine::allDone() const
+{
+    for (const auto &t : threads_) {
+        if (!t.done())
+            return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+litmus::FinalState
+Machine::run(Rng &rng)
+{
+    resetRun(rng);
+
+    int nthreads = static_cast<int>(threads_.size());
+    for (int step = 0; step < opts_.maxMicroSteps && !allDone();
+         ++step) {
+        // Actors: threads plus (under stress) one drain actor per SM
+        // with a non-empty buffer.
+        int ndrains = 0;
+        int drain_sms[64];
+        if (stress() && chip_->storeBuffer) {
+            for (int s = 0; s < chip_->numSMs &&
+                            s < static_cast<int>(sizeof(drain_sms) /
+                                                 sizeof(int));
+                 ++s) {
+                if (!sms_[s].buffer.empty())
+                    drain_sms[ndrains++] = s;
+            }
+        }
+        int choice = static_cast<int>(
+            rng.below(static_cast<uint64_t>(nthreads + ndrains)));
+        if (choice < nthreads) {
+            if (!threads_[choice].done())
+                threadAction(choice, rng);
+        } else {
+            int sm = drain_sms[choice - nthreads];
+            if (!rng.chance(chip_->drainLaziness))
+                drainOne(sm, rng, false);
+        }
+    }
+
+    // If the step budget ran out (imported tests with unbounded
+    // spins), finish deterministically in order.
+    for (int t = 0; t < nthreads; ++t) {
+        ThreadState &ts = threads_[t];
+        int guard = opts_.maxMicroSteps;
+        while (!ts.done() && guard-- > 0) {
+            if (!ts.window.empty()) {
+                WindowEntry e = ts.window.front();
+                ts.window.erase(ts.window.begin());
+                perform(t, e, rng);
+            } else {
+                ts.startDelay = 0;
+                issueOne(t, rng);
+            }
+        }
+    }
+
+    for (int s = 0; s < chip_->numSMs; ++s)
+        drainAll(s, rng);
+
+    return collectFinalState();
+}
+
+// ---------------------------------------------------------------------
+// Thread actions
+// ---------------------------------------------------------------------
+
+void
+Machine::threadAction(int tid, Rng &rng)
+{
+    ThreadState &ts = threads_[tid];
+    if (ts.startDelay > 0) {
+        --ts.startDelay;
+        return;
+    }
+    bool can_commit = !ts.window.empty();
+    bool can_issue = false;
+    if (!ts.frontDone) {
+        if (ts.pc >= static_cast<int>(compiled_[tid].instrs.size())) {
+            ts.frontDone = true;
+        } else if (ts.window.size() < 8) {
+            can_issue =
+                issueReady(ts, compiled_[tid].instrs[ts.pc]);
+        }
+    }
+
+    if (can_issue && (!can_commit || rng.chance(0.6)))
+        issueOne(tid, rng);
+    else if (can_commit)
+        commitOne(tid, rng);
+}
+
+bool
+Machine::issueReady(const ThreadState &ts, const CInstr &in) const
+{
+    auto ready = [&](const COperand &op) {
+        return op.isImm || op.reg < 0 ||
+               !((ts.pendingRegs >> op.reg) & 1);
+    };
+    if (in.guardReg >= 0 && ((ts.pendingRegs >> in.guardReg) & 1))
+        return false;
+    switch (in.op) {
+      case ptx::Opcode::Ld:
+        return ready(in.addr);
+      case ptx::Opcode::St:
+        return ready(in.addr) && ready(in.src0);
+      case ptx::Opcode::AtomCas:
+        return ready(in.addr) && ready(in.src0) && ready(in.src1);
+      case ptx::Opcode::AtomExch:
+      case ptx::Opcode::AtomAdd:
+        return ready(in.addr) && ready(in.src0);
+      case ptx::Opcode::AtomInc:
+        return ready(in.addr);
+      case ptx::Opcode::Membar:
+      case ptx::Opcode::Nop:
+      case ptx::Opcode::Bra:
+        return true;
+      default:
+        return ready(in.src0) && ready(in.src1);
+    }
+}
+
+void
+Machine::issueOne(int tid, Rng &rng)
+{
+    ThreadState &ts = threads_[tid];
+    const CThread &ct = compiled_[tid];
+    if (ts.pc >= static_cast<int>(ct.instrs.size())) {
+        ts.frontDone = true;
+        return;
+    }
+    const CInstr &in = ct.instrs[ts.pc];
+    if (++ts.executed > opts_.maxMicroSteps) {
+        // Unbounded loop guard: stop fetching.
+        ts.frontDone = true;
+        return;
+    }
+
+    auto val = [&](const COperand &op) -> int64_t {
+        return op.isImm ? op.imm : ts.regs[op.reg];
+    };
+
+    // Guard.
+    if (in.guardReg >= 0) {
+        bool set = ts.regs[in.guardReg] != 0;
+        bool execute = in.guardNeg ? !set : set;
+        if (!execute) {
+            ++ts.pc;
+            return;
+        }
+    }
+
+    switch (in.op) {
+      case ptx::Opcode::Nop:
+        ++ts.pc;
+        return;
+      case ptx::Opcode::Bra:
+        ts.pc = in.braTarget;
+        return;
+      case ptx::Opcode::Mov:
+      case ptx::Opcode::Cvt:
+        ts.regs[in.dst] = val(in.src0);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::Add:
+        ts.regs[in.dst] = val(in.src0) + val(in.src1);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::Sub:
+        ts.regs[in.dst] = val(in.src0) - val(in.src1);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::And:
+        ts.regs[in.dst] = val(in.src0) & val(in.src1);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::Or:
+        ts.regs[in.dst] = val(in.src0) | val(in.src1);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::Xor:
+        ts.regs[in.dst] = val(in.src0) ^ val(in.src1);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::SetpEq:
+        ts.regs[in.dst] = val(in.src0) == val(in.src1);
+        ++ts.pc;
+        return;
+      case ptx::Opcode::SetpNe:
+        ts.regs[in.dst] = val(in.src0) != val(in.src1);
+        ++ts.pc;
+        return;
+      default:
+        break;
+    }
+
+    // Memory operations enter the window.
+    WindowEntry e;
+    e.op = in.op;
+    e.cacheOp = in.cacheOp;
+    e.scope = in.scope;
+    if (in.op == ptx::Opcode::Membar) {
+        e.kind = WindowEntry::Kind::Fence;
+    } else {
+        int64_t addr = val(in.addr);
+        int loc = locIndexOf(addr);
+        if (loc < 0) {
+            warn("test '%s': T%d accesses non-testing address %lld;"
+                 " treating as nop",
+                 test_->name.c_str(), tid,
+                 static_cast<long long>(addr));
+            ++ts.pc;
+            return;
+        }
+        e.loc = loc;
+        e.shared = locShared_[loc];
+        e.dst = in.dst;
+        switch (in.op) {
+          case ptx::Opcode::Ld:
+            e.kind = WindowEntry::Kind::Load;
+            break;
+          case ptx::Opcode::St:
+            e.kind = WindowEntry::Kind::Store;
+            e.src0 = val(in.src0);
+            break;
+          case ptx::Opcode::AtomCas:
+            e.kind = WindowEntry::Kind::Atomic;
+            e.src0 = val(in.src0);
+            e.src1 = val(in.src1);
+            break;
+          case ptx::Opcode::AtomExch:
+          case ptx::Opcode::AtomAdd:
+            e.kind = WindowEntry::Kind::Atomic;
+            e.src0 = val(in.src0);
+            break;
+          case ptx::Opcode::AtomInc:
+            e.kind = WindowEntry::Kind::Atomic;
+            break;
+          default:
+            panic("unexpected opcode in window path");
+        }
+        if (e.dst >= 0)
+            ts.pendingRegs |= 1ULL << e.dst;
+    }
+    ts.window.push_back(e);
+    ++ts.pc;
+    (void)rng;
+}
+
+// ---------------------------------------------------------------------
+// Commit
+// ---------------------------------------------------------------------
+
+double
+Machine::corrJitterFactor() const
+{
+    // The load-load hazard needs latency jitter on the testing
+    // warp's loads. Bank conflicts deliver it directly -- but only
+    // when thread randomisation moves the testing threads into the
+    // conflicting lanes (Tab. 6: column 5 shows nothing, column 6
+    // does); memory stress delivers a much weaker, indirect jitter
+    // (columns 9-12 are an order of magnitude below column 8).
+    if (opts_.inc.bankConflicts && opts_.inc.threadRandomisation)
+        return 1.0;
+    if (opts_.inc.bankConflicts && stress())
+        return 0.5;
+    if (stress())
+        return 0.04;
+    return 0.0;
+}
+
+bool
+Machine::fenceActiveFor(const ThreadState &ts,
+                        const WindowEntry &fence,
+                        bool target_shared) const
+{
+    if (target_shared)
+        return true; // shared memory is CTA-local; every scope orders
+    if (ptx::scopeAtLeast(fence.scope, ptx::Scope::Gl))
+        return true;
+    // membar.cta orders the global stream only when an in-CTA
+    // observer exists (same-SM streams are snooped in order).
+    int tid = static_cast<int>(&ts - threads_.data());
+    return hasSameCtaPeer_[tid];
+}
+
+double
+Machine::pairPass(const ThreadState &ts, const WindowEntry &older,
+                  const WindowEntry &younger) const
+{
+    using Kind = WindowEntry::Kind;
+
+    if (younger.kind == Kind::Fence)
+        return 0.0; // fences commit in order
+
+    if (older.kind == Kind::Fence) {
+        if (fenceActiveFor(ts, older, younger.shared))
+            return 0.0;
+        // Transparent inter-CTA membar.cta; partially effective.
+        return 1.0 - chip_->ctaFenceInterBlock;
+    }
+
+    // Same-location accesses: ordered, except the read-read hazard.
+    // The hazard only arises between loads on the same path (same
+    // cache operator): Fig. 4's mixed .cg/.ca pairs show it is almost
+    // absent across paths (GTX6: 2/100k vs 9599/100k for pure coRR).
+    if (older.loc == younger.loc && older.shared == younger.shared) {
+        if (older.kind == Kind::Load && younger.kind == Kind::Load &&
+            older.cacheOp == younger.cacheOp && chip_->allowCoRR)
+            return chip_->corrPass * corrJitterFactor();
+        return 0.0;
+    }
+
+    // Shared-memory pairs: one jittered pass probability.
+    if (older.shared && younger.shared) {
+        if (stress() || opts_.inc.bankConflicts)
+            return chip_->sharedPass;
+        return 0.0;
+    }
+    if (older.shared != younger.shared) {
+        // Mixed spaces: treat like the global path.
+    }
+
+    // Global path. On Nvidia the reordering machinery only engages
+    // under memory stress (Tab. 6: columns 1-8 show no inter-CTA
+    // weak behaviours on Titan); AMD reorders without it. The
+    // reader-side load-load reorder additionally engages under
+    // bank-conflict jitter when randomisation steers the testing
+    // warp into it (Titan's columns 6 and 8 show mp without stress).
+    double bank_wr = opts_.inc.bankConflicts ? chip_->wrPassBank : 0.0;
+    bool engaged = stress() || !chip_->reorderNeedsStress;
+
+    // Bank conflicts serialise Nvidia's LSU pipeline: the stress-
+    // engaged reordering machinery is strongly damped (Tab. 6 shows
+    // lb dropping from 2247 to 486 when bank conflicts are added to
+    // column 12). AMD is unaffected. On AMD the conflicts instead add
+    // reader-side jitter that *boosts* load-load reordering (Tab. 6:
+    // HD7970 mp roughly doubles with bank conflicts).
+    double damp = 1.0;
+    double rr_boost = 1.0;
+    if (opts_.inc.bankConflicts) {
+        if (chip_->reorderNeedsStress)
+            damp = 0.12;
+        else
+            rr_boost = 2.5;
+    }
+
+    auto reads = [](const WindowEntry &e) {
+        return e.kind == Kind::Load || e.kind == Kind::Atomic;
+    };
+    auto writes = [](const WindowEntry &e) {
+        return e.kind == Kind::Store || e.kind == Kind::Atomic;
+    };
+
+    if (younger.kind == Kind::Load) {
+        if (older.kind == Kind::Store)
+            return (engaged ? chip_->wrPass * damp : 0.0) + bank_wr;
+        // Past a load or an atomic's read part. Bank-conflict jitter
+        // with randomisation drives this even without stress (Titan's
+        // columns 6 and 8 show mp without memory stress).
+        double rr = engaged ? chip_->rrPass * damp : 0.0;
+        if (opts_.inc.bankConflicts && opts_.inc.threadRandomisation)
+            rr = std::max(rr, chip_->rrPass * rr_boost);
+        else if (engaged)
+            rr = std::max(rr, chip_->rrPass * damp * rr_boost);
+        return rr;
+    }
+    if (!engaged)
+        return 0.0;
+    if (younger.kind == Kind::Store) {
+        if (reads(older))
+            return chip_->rwPass * damp; // lb (atomics don't fence)
+        return chip_->wwPass * damp;     // bufferless writer-side mp
+    }
+    // younger atomic
+    if (writes(older) && older.kind != Kind::Load)
+        return chip_->atomPass * damp;
+    return chip_->rwPass * damp;
+}
+
+void
+Machine::commitOne(int tid, Rng &rng)
+{
+    ThreadState &ts = threads_[tid];
+    SmState &sm = sms_[ts.smId];
+
+    // An active fence at the head must wait for the store buffer; the
+    // commit slot drains instead.
+    const WindowEntry &head = ts.window.front();
+    if (head.kind == WindowEntry::Kind::Fence &&
+        fenceActiveFor(ts, head, false) && !sm.buffer.empty()) {
+        drainOne(ts.smId, rng, true);
+        return;
+    }
+
+    // Select the entry to retire: try younger entries with their
+    // pass probabilities, else the oldest.
+    size_t chosen = 0;
+    for (size_t i = 1; i < ts.window.size(); ++i) {
+        double p = 1.0;
+        for (size_t j = 0; j < i && p > 0.0; ++j)
+            p = std::min(p, pairPass(ts, ts.window[j], ts.window[i]));
+        if (p > 0.0 && rng.chance(p)) {
+            chosen = i;
+            break;
+        }
+    }
+
+    if (chosen == 0 && ts.window[0].delay > 0) {
+        // A bypassed entry replays before it can retire.
+        --ts.window[0].delay;
+        return;
+    }
+    for (size_t j = 0; j < chosen; ++j)
+        ts.window[j].delay += 2 + static_cast<int>(rng.below(4));
+
+    WindowEntry e = ts.window[chosen];
+    ts.window.erase(ts.window.begin() +
+                    static_cast<std::ptrdiff_t>(chosen));
+    perform(tid, e, rng);
+}
+
+// ---------------------------------------------------------------------
+// Memory system
+// ---------------------------------------------------------------------
+
+void
+Machine::writeToL2(int loc, int64_t value, int writer_sm, Rng &rng)
+{
+    l2_[loc] = value;
+    for (int s = 0; s < chip_->numSMs; ++s) {
+        auto &line = sms_[s].l1[loc];
+        if (!line)
+            continue;
+        if (line->value == value) {
+            line->stale = false;
+            continue;
+        }
+        line->stale = true;
+        line->staleFromOwnSM = s == writer_sm;
+    }
+    (void)rng;
+}
+
+void
+Machine::drainOne(int sm_id, Rng &rng, bool in_order_only)
+{
+    SmState &sm = sms_[sm_id];
+    if (sm.buffer.empty())
+        return;
+    size_t pick = 0;
+    if (!in_order_only && sm.buffer.size() > 1 &&
+        rng.chance(chip_->drainOutOfOrder)) {
+        // Out-of-order drain, preserving per-location order: a
+        // younger entry may drain early only if no older entry
+        // targets the same location.
+        size_t cand = 1 + rng.below(sm.buffer.size() - 1);
+        bool blocked = false;
+        for (size_t j = 0; j < cand; ++j) {
+            if (sm.buffer[j].loc == sm.buffer[cand].loc)
+                blocked = true;
+        }
+        if (!blocked)
+            pick = cand;
+    }
+    BufferEntry e = sm.buffer[pick];
+    sm.buffer.erase(sm.buffer.begin() +
+                    static_cast<std::ptrdiff_t>(pick));
+    writeToL2(e.loc, e.value, sm_id, rng);
+}
+
+void
+Machine::drainAll(int sm_id, Rng &rng)
+{
+    while (!sms_[sm_id].buffer.empty())
+        drainOne(sm_id, rng, true);
+}
+
+int64_t
+Machine::readGlobal(int tid, const WindowEntry &e, Rng &rng)
+{
+    ThreadState &ts = threads_[tid];
+    SmState &sm = sms_[ts.smId];
+
+    // Store-to-load forwarding from the SM's own buffer.
+    for (auto it = sm.buffer.rbegin(); it != sm.buffer.rend(); ++it) {
+        if (it->loc == e.loc)
+            return it->value;
+    }
+
+    bool own_wrote = (ts.wroteLocs >> e.loc) & 1;
+    if (e.cacheOp == ptx::CacheOp::Ca && !own_wrote) {
+        auto &line = sm.l1[e.loc];
+        if (line) {
+            if (!line->stale)
+                return line->value;
+            double serve = stress() ? chip_->l1StaleServe : 0.02;
+            if (rng.chance(serve))
+                return line->value;
+            line.reset(); // self-invalidate, fall through to miss
+        }
+        int64_t v = l2_[e.loc];
+        sm.l1[e.loc] = L1Line{v, false, false};
+        return v;
+    }
+
+    // .cg (and volatile / default) reads the L2; on chips honouring
+    // the manual it also evicts a matching L1 line.
+    if (rng.chance(chip_->cgLoadEvicts))
+        sm.l1[e.loc].reset();
+    return l2_[e.loc];
+}
+
+void
+Machine::applyFenceInvalidation(int sm_id, ptx::Scope scope, Rng &rng)
+{
+    SmState &sm = sms_[sm_id];
+    for (auto &line : sm.l1) {
+        if (!line || !line->stale)
+            continue;
+        double p = line->staleFromOwnSM
+                       ? chip_->invalSame.at(scope)
+                       : chip_->invalInter.at(scope);
+        if (rng.chance(p))
+            line.reset();
+    }
+}
+
+void
+Machine::perform(int tid, const WindowEntry &e, Rng &rng)
+{
+    ThreadState &ts = threads_[tid];
+    SmState &sm = sms_[ts.smId];
+
+    switch (e.kind) {
+      case WindowEntry::Kind::Fence: {
+        bool active = fenceActiveFor(ts, e, false);
+        // Even an inter-CTA-transparent membar.cta usually flushes
+        // the SM's buffer (it orders the SM-local stream); it leaks
+        // with probability 1 - ctaFenceInterBlock, which is what
+        // keeps inter-CTA lb+membar.ctas observable (Sec. 6).
+        if (active || rng.chance(chip_->ctaFenceInterBlock))
+            drainAll(ts.smId, rng);
+        // Reader-side invalidation of stale L1 lines, with per-chip
+        // per-scope success probabilities (Figs. 3 and 4).
+        applyFenceInvalidation(ts.smId, e.scope, rng);
+        return;
+      }
+
+      case WindowEntry::Kind::Load: {
+        int64_t v;
+        if (e.shared)
+            v = sharedMem_[ts.ctaId][e.loc];
+        else
+            v = readGlobal(tid, e, rng);
+        if (e.dst >= 0) {
+            ts.regs[e.dst] = v;
+            ts.pendingRegs &= ~(1ULL << e.dst);
+        }
+        return;
+      }
+
+      case WindowEntry::Kind::Store: {
+        if (e.shared) {
+            sharedMem_[ts.ctaId][e.loc] = e.src0;
+            return;
+        }
+        ts.wroteLocs |= 1ULL << e.loc;
+        if (rng.chance(chip_->cgStoreEvicts))
+            sm.l1[e.loc].reset();
+        // Bank conflicts serialise the pipeline enough that stores
+        // often go straight to the L2 (Tab. 6: Titan sb collapses
+        // from 6673 to 749 when bank conflicts are added). A store
+        // must never bypass a buffered store to the same location:
+        // per-location coherence would break.
+        bool same_loc_buffered = false;
+        for (const auto &b : sm.buffer) {
+            if (b.loc == e.loc)
+                same_loc_buffered = true;
+        }
+        bool bypass = opts_.inc.bankConflicts && !same_loc_buffered &&
+                      rng.chance(0.5);
+        if (chip_->storeBuffer && stress() && !bypass) {
+            sm.buffer.push_back({e.loc, e.src0});
+        } else {
+            writeToL2(e.loc, e.src0, ts.smId, rng);
+        }
+        return;
+      }
+
+      case WindowEntry::Kind::Atomic: {
+        int64_t old;
+        int64_t *cell;
+        if (e.shared) {
+            cell = &sharedMem_[ts.ctaId][e.loc];
+            old = *cell;
+        } else {
+            // On some chips atomics serialise against the SM's
+            // pending stores before acting at the L2.
+            if (rng.chance(chip_->atomFlush))
+                drainAll(ts.smId, rng);
+            // Atomics act at the L2 directly; same-location buffered
+            // stores must land first (PTX annuls atomic guarantees
+            // when plain stores race, but per-location order holds).
+            for (;;) {
+                bool found = false;
+                for (size_t i = 0; i < sm.buffer.size(); ++i) {
+                    if (sm.buffer[i].loc == e.loc) {
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found)
+                    break;
+                drainOne(ts.smId, rng, true);
+            }
+            cell = &l2_[e.loc];
+            old = *cell;
+        }
+
+        bool wrote = false;
+        int64_t new_val = old;
+        switch (e.op) {
+          case ptx::Opcode::AtomCas:
+            if (old == e.src0) {
+                new_val = e.src1;
+                wrote = true;
+            }
+            break;
+          case ptx::Opcode::AtomExch:
+            new_val = e.src0;
+            wrote = true;
+            break;
+          case ptx::Opcode::AtomInc:
+            new_val = old + 1;
+            wrote = true;
+            break;
+          case ptx::Opcode::AtomAdd:
+            new_val = old + e.src0;
+            wrote = true;
+            break;
+          default:
+            panic("unexpected atomic opcode");
+        }
+        if (wrote) {
+            if (e.shared) {
+                *cell = new_val;
+            } else {
+                writeToL2(e.loc, new_val, ts.smId, rng);
+                ts.wroteLocs |= 1ULL << e.loc;
+            }
+        }
+        if (e.dst >= 0) {
+            ts.regs[e.dst] = old;
+            ts.pendingRegs &= ~(1ULL << e.dst);
+        }
+        return;
+      }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Final state
+// ---------------------------------------------------------------------
+
+litmus::FinalState
+Machine::collectFinalState()
+{
+    litmus::FinalState st;
+    for (size_t t = 0; t < threads_.size(); ++t) {
+        const auto &names = regNames_[t];
+        for (size_t r = 0; r < names.size(); ++r)
+            st.regs[{static_cast<int>(t), names[r]}] =
+                threads_[t].regs[r];
+    }
+    for (size_t i = 0; i < locShared_.size(); ++i) {
+        const std::string &name = test_->locations[i].name;
+        if (locShared_[i])
+            st.mem[name] = sharedMem_.empty()
+                               ? locInit_[i]
+                               : sharedMem_[0][static_cast<int>(i)];
+        else
+            st.mem[name] = l2_[i];
+    }
+    return st;
+}
+
+} // namespace gpulitmus::sim

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The operational GPU machine: executes one litmus-test iteration on
+ * a simulated chip, producing a final state.
+ *
+ * Mechanisms (all shared across chips; chips differ in parameters):
+ *
+ * - per-thread in-order issue with a register scoreboard (dependent
+ *   instructions stall, so address/data/control dependencies order
+ *   accesses exactly as RMO requires);
+ * - a per-thread commit window from which memory operations retire
+ *   out of order, subject to same-address ordering (minus the
+ *   read-read load-load hazard on chips that allow coRR), fences, and
+ *   per-pair pass probabilities;
+ * - a per-SM store buffer (Nvidia): committed stores become visible
+ *   to other SMs only when drained to the L2; atomics bypass the
+ *   buffer and act on the L2 directly — which is precisely why the
+ *   fenceless spin locks of Sec. 3.2.2 break;
+ * - per-SM non-coherent L1s: .ca loads may hit lines staled by other
+ *   SMs' (or the same SM's) stores; fences invalidate stale lines
+ *   only with per-chip, per-scope probabilities (Figs. 3 and 4);
+ * - scoped fences: membar.gl/sys order the window and flush the
+ *   buffer; membar.cta does so only when a same-CTA testing peer
+ *   exists (an SM orders its local stream; there is no same-SM
+ *   observer to violate otherwise) — this is what lets the simulator
+ *   reproduce inter-CTA lb+membar.ctas (Sec. 6) while staying sound
+ *   w.r.t. the PTX model;
+ * - the four incantations of Sec. 4.3 as scheduling knobs: memory
+ *   stress activates the reordering/buffering machinery, bank
+ *   conflicts add intra-SM jitter (and stall the testing warp a
+ *   little), thread synchronisation aligns thread start times, and
+ *   thread randomisation re-randomises placement and start skew every
+ *   iteration.
+ */
+
+#ifndef GPULITMUS_SIM_MACHINE_H
+#define GPULITMUS_SIM_MACHINE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "litmus/test.h"
+#include "sim/chip.h"
+
+namespace gpulitmus::sim {
+
+/** The four incantations of Sec. 4.3. */
+struct Incantations
+{
+    bool memoryStress = false;
+    bool bankConflicts = false;
+    bool threadSync = false;
+    bool threadRandomisation = false;
+
+    static Incantations none() { return {}; }
+    static Incantations all() { return {true, true, true, true}; }
+
+    /**
+     * Tab. 6 column (1..16). Bit assignment reconstructed from the
+     * paper's column comparisons: bit0 = thread randomisation, bit1 =
+     * thread synchronisation, bit2 = bank conflicts, bit3 = memory
+     * stress, column = bits + 1.
+     */
+    static Incantations fromColumn(int column);
+    int column() const;
+
+    std::string str() const;
+};
+
+struct MachineOptions
+{
+    Incantations inc = Incantations::all();
+    /** Abort threshold for one iteration (guards imported tests with
+     * unbounded loops). */
+    int maxMicroSteps = 4000;
+    /** Start-time skew (in micro-steps) without thread sync. */
+    int skewMax = 48;
+};
+
+/**
+ * Executes iterations of one litmus test on one chip. Construct once;
+ * call run() per iteration (state is reset each time).
+ */
+class Machine
+{
+  public:
+    Machine(const ChipProfile &chip, const litmus::Test &test,
+            MachineOptions opts = {});
+
+    /** One iteration; draws all randomness from rng. */
+    litmus::FinalState run(Rng &rng);
+
+    const ChipProfile &chip() const { return *chip_; }
+
+  private:
+    // ---- compiled program ------------------------------------------
+    struct COperand
+    {
+        bool isImm = true;
+        int reg = -1;
+        int64_t imm = 0;
+    };
+
+    struct CInstr
+    {
+        ptx::Opcode op = ptx::Opcode::Nop;
+        ptx::CacheOp cacheOp = ptx::CacheOp::None;
+        ptx::Scope scope = ptx::Scope::Gl;
+        bool isVolatile = false;
+        int guardReg = -1;
+        bool guardNeg = false;
+        int dst = -1;
+        COperand addr;
+        COperand src0, src1;
+        int braTarget = -1;
+    };
+
+    struct CThread
+    {
+        std::vector<CInstr> instrs;
+        std::vector<int64_t> regInit;
+    };
+
+    // ---- runtime state ----------------------------------------------
+    struct WindowEntry
+    {
+        enum class Kind { Load, Store, Atomic, Fence };
+        Kind kind = Kind::Load;
+        ptx::Opcode op = ptx::Opcode::Nop;
+        ptx::CacheOp cacheOp = ptx::CacheOp::None;
+        ptx::Scope scope = ptx::Scope::Gl;
+        int loc = -1; ///< location index; -1 for fences
+        bool shared = false;
+        int dst = -1;
+        int64_t src0 = 0, src1 = 0;
+        /** Replay delay: bumped when a younger access passes this
+         * entry (the bypassed access replays in the pipeline), which
+         * widens the race window for other threads to intervene. */
+        int delay = 0;
+    };
+
+    struct ThreadState
+    {
+        int smId = 0;
+        int ctaId = 0;
+        int pc = 0;
+        int startDelay = 0;
+        int executed = 0;
+        bool frontDone = false;
+        std::vector<int64_t> regs;
+        uint64_t pendingRegs = 0;
+        std::vector<WindowEntry> window;
+        uint64_t wroteLocs = 0; ///< bitmask over location indices
+
+        bool done() const { return frontDone && window.empty(); }
+    };
+
+    struct L1Line
+    {
+        int64_t value = 0;
+        bool stale = false;
+        bool staleFromOwnSM = false;
+    };
+
+    struct BufferEntry
+    {
+        int loc = -1;
+        int64_t value = 0;
+    };
+
+    struct SmState
+    {
+        std::vector<std::optional<L1Line>> l1; ///< per location
+        std::vector<BufferEntry> buffer;
+    };
+
+    // ---- helpers ----------------------------------------------------
+    void compile();
+    int regIndex(int tid, const std::string &name);
+    COperand compileOperand(const ptx::Operand &op, int tid);
+    int locIndexOf(int64_t addr) const;
+
+    void resetRun(Rng &rng);
+    bool allDone() const;
+    void threadAction(int tid, Rng &rng);
+    bool issueReady(const ThreadState &ts, const CInstr &in) const;
+    void issueOne(int tid, Rng &rng);
+    void commitOne(int tid, Rng &rng);
+    double pairPass(const ThreadState &ts, const WindowEntry &older,
+                    const WindowEntry &younger) const;
+    bool fenceActiveFor(const ThreadState &ts, const WindowEntry &fence,
+                        bool target_shared) const;
+    void perform(int tid, const WindowEntry &e, Rng &rng);
+    void drainOne(int sm, Rng &rng, bool in_order_only);
+    void drainAll(int sm, Rng &rng);
+    void writeToL2(int loc, int64_t value, int writer_sm, Rng &rng);
+    int64_t readGlobal(int tid, const WindowEntry &e, Rng &rng);
+    void applyFenceInvalidation(int sm, ptx::Scope scope, Rng &rng);
+    litmus::FinalState collectFinalState();
+
+    double corrJitterFactor() const;
+    bool stress() const { return opts_.inc.memoryStress; }
+
+    const ChipProfile *chip_;
+    const litmus::Test *test_;
+    MachineOptions opts_;
+
+    // Compiled once.
+    std::vector<CThread> compiled_;
+    std::vector<std::vector<std::string>> regNames_; ///< per thread
+    std::vector<bool> locShared_;
+    std::vector<int64_t> locInit_;
+    std::vector<bool> hasSameCtaPeer_;
+
+    // Reset per run.
+    std::vector<ThreadState> threads_;
+    std::vector<SmState> sms_;
+    std::vector<int64_t> l2_;
+    std::vector<std::vector<int64_t>> sharedMem_; ///< per CTA
+};
+
+} // namespace gpulitmus::sim
+
+#endif // GPULITMUS_SIM_MACHINE_H

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Unit tests for the axiomatic engine: relation algebra properties
+ * (including parameterized algebraic-law sweeps) and candidate
+ * execution enumeration on known litmus shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axiom/enumerate.h"
+#include "common/rng.h"
+#include "litmus/library.h"
+
+namespace gpulitmus::axiom {
+namespace {
+
+using litmus::paperlib::coRR;
+using litmus::paperlib::lb;
+using litmus::paperlib::mp;
+using litmus::paperlib::sb;
+
+TEST(Relation, BasicSetOps)
+{
+    Relation a(4), b(4);
+    a.set(0, 1);
+    a.set(1, 2);
+    b.set(1, 2);
+    b.set(2, 3);
+    EXPECT_EQ((a | b).pairCount(), 3u);
+    EXPECT_EQ((a & b).pairCount(), 1u);
+    EXPECT_EQ(a.minus(b).pairCount(), 1u);
+    EXPECT_TRUE(a.minus(a).empty());
+}
+
+TEST(Relation, Composition)
+{
+    Relation a(4), b(4);
+    a.set(0, 1);
+    b.set(1, 2);
+    Relation c = a.seq(b);
+    EXPECT_TRUE(c.get(0, 2));
+    EXPECT_EQ(c.pairCount(), 1u);
+}
+
+TEST(Relation, Inverse)
+{
+    Relation a(3);
+    a.set(0, 2);
+    a.set(1, 0);
+    Relation inv = a.inverse();
+    EXPECT_TRUE(inv.get(2, 0));
+    EXPECT_TRUE(inv.get(0, 1));
+    EXPECT_EQ(inv.inverse(), a);
+}
+
+TEST(Relation, TransitiveClosure)
+{
+    Relation a(4);
+    a.set(0, 1);
+    a.set(1, 2);
+    a.set(2, 3);
+    Relation p = a.plus();
+    EXPECT_TRUE(p.get(0, 3));
+    EXPECT_TRUE(p.get(1, 3));
+    EXPECT_FALSE(p.get(3, 0));
+}
+
+TEST(Relation, AcyclicityDetection)
+{
+    Relation a(3);
+    a.set(0, 1);
+    a.set(1, 2);
+    EXPECT_TRUE(a.acyclic());
+    a.set(2, 0);
+    EXPECT_FALSE(a.acyclic());
+    auto cycle = a.findCycle();
+    EXPECT_EQ(cycle.size(), 3u);
+}
+
+TEST(Relation, SelfLoopIsCycle)
+{
+    Relation a(2);
+    a.set(1, 1);
+    EXPECT_FALSE(a.acyclic());
+    EXPECT_FALSE(a.irreflexive());
+}
+
+TEST(Relation, RestrictFiltersDomainAndRange)
+{
+    Relation a(4);
+    a.set(0, 1);
+    a.set(2, 3);
+    Relation r = a.restrict(0b0001, 0b0010); // domain {0}, range {1}
+    EXPECT_TRUE(r.get(0, 1));
+    EXPECT_EQ(r.pairCount(), 1u);
+}
+
+TEST(Relation, IdentityAndUniversal)
+{
+    EXPECT_EQ(Relation::identity(3).pairCount(), 3u);
+    EXPECT_EQ(Relation::universal(3).pairCount(), 9u);
+    EXPECT_TRUE(Relation::identity(64).get(63, 63));
+    EXPECT_TRUE(Relation::universal(64).get(63, 0));
+}
+
+/** Algebraic laws checked on random relations (property tests). */
+class RelationLaws : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    Relation
+    random(Rng &rng, int n)
+    {
+        Relation r(n);
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                if (rng.chance(0.3))
+                    r.set(i, j);
+            }
+        }
+        return r;
+    }
+};
+
+TEST_P(RelationLaws, Hold)
+{
+    Rng rng(GetParam());
+    const int n = 8;
+    Relation a = random(rng, n);
+    Relation b = random(rng, n);
+    Relation c = random(rng, n);
+    Relation id = Relation::identity(n);
+
+    // Union/intersection laws.
+    EXPECT_EQ(a | b, b | a);
+    EXPECT_EQ(a & b, b & a);
+    EXPECT_EQ((a | b) | c, a | (b | c));
+    EXPECT_EQ(a & (b | c), (a & b) | (a & c));
+    EXPECT_EQ(a | a, a);
+    EXPECT_EQ(a.minus(b).minus(c), a.minus(b | c));
+
+    // Composition laws.
+    EXPECT_EQ(a.seq(b).seq(c), a.seq(b.seq(c)));
+    EXPECT_EQ(a.seq(id), a);
+    EXPECT_EQ(id.seq(a), a);
+    EXPECT_EQ(a.seq(b | c), a.seq(b) | a.seq(c));
+
+    // Inverse laws.
+    EXPECT_EQ(a.seq(b).inverse(), b.inverse().seq(a.inverse()));
+    EXPECT_EQ((a | b).inverse(), a.inverse() | b.inverse());
+
+    // Closure laws.
+    Relation p = a.plus();
+    EXPECT_EQ(p.plus(), p);               // idempotent
+    EXPECT_EQ(a.star(), a.plus() | id);
+    EXPECT_EQ(a.maybe(), a | id);
+    // plus contains all finite powers.
+    EXPECT_EQ(p | a.seq(p), p);
+    // Acyclicity is equivalent to irreflexivity of the closure.
+    EXPECT_EQ(a.acyclic(), p.irreflexive());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationLaws,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+// ---------------------------------------------------------------------
+// Enumeration tests
+// ---------------------------------------------------------------------
+
+TEST(Enumerate, MpHasAllFourOutcomes)
+{
+    auto execs = enumerateExecutions(mp());
+    EXPECT_FALSE(execs.empty());
+    std::set<std::pair<int64_t, int64_t>> outcomes;
+    for (const auto &e : execs) {
+        outcomes.insert({e.finalState.reg(1, "r1"),
+                         e.finalState.reg(1, "r2")});
+    }
+    // All four candidate r1/r2 combinations must appear.
+    EXPECT_EQ(outcomes.size(), 4u);
+}
+
+TEST(Enumerate, EventsIncludeInitWrites)
+{
+    auto execs = enumerateExecutions(mp());
+    ASSERT_FALSE(execs.empty());
+    int init_count = 0;
+    for (const auto &e : execs[0].events)
+        init_count += e.isInit();
+    EXPECT_EQ(init_count, 2); // x and y
+}
+
+TEST(Enumerate, RfIsWellFormed)
+{
+    for (const auto &ex : enumerateExecutions(sb())) {
+        for (const auto &e : ex.events) {
+            if (!e.isRead())
+                continue;
+            int sources = 0;
+            for (const auto &w : ex.events) {
+                if (ex.rf.get(w.id, e.id)) {
+                    ++sources;
+                    EXPECT_TRUE(w.isWrite());
+                    EXPECT_EQ(w.loc, e.loc);
+                    EXPECT_EQ(w.value, e.value);
+                }
+            }
+            EXPECT_EQ(sources, 1) << "read " << e.id;
+        }
+    }
+}
+
+TEST(Enumerate, CoTotalPerLocation)
+{
+    for (const auto &ex : enumerateExecutions(coRR())) {
+        for (const auto &a : ex.events) {
+            for (const auto &b : ex.events) {
+                if (a.id >= b.id || !a.isWrite() || !b.isWrite() ||
+                    a.loc != b.loc)
+                    continue;
+                EXPECT_TRUE(ex.co.get(a.id, b.id) ||
+                            ex.co.get(b.id, a.id));
+                EXPECT_FALSE(ex.co.get(a.id, b.id) &&
+                             ex.co.get(b.id, a.id));
+            }
+        }
+        EXPECT_TRUE(ex.co.acyclic());
+    }
+}
+
+TEST(Enumerate, InitFirstInCo)
+{
+    for (const auto &ex : enumerateExecutions(mp())) {
+        for (const auto &e : ex.events) {
+            if (e.isInit()) {
+                for (const auto &w : ex.events) {
+                    if (w.isWrite() && !w.isInit() && w.loc == e.loc)
+                        EXPECT_TRUE(ex.co.get(e.id, w.id));
+                }
+            }
+        }
+    }
+}
+
+TEST(Enumerate, FrDerivation)
+{
+    // In an execution of mp where T1's second read sees 0, that read
+    // is fr-before T0's store to x.
+    for (const auto &ex : enumerateExecutions(mp())) {
+        Relation fr = ex.fr();
+        for (const auto &r : ex.events) {
+            if (!r.isRead() || r.loc != "x" || r.value != 0)
+                continue;
+            for (const auto &w : ex.events) {
+                if (w.isWrite() && !w.isInit() && w.loc == "x")
+                    EXPECT_TRUE(fr.get(r.id, w.id));
+            }
+        }
+    }
+}
+
+TEST(Enumerate, DependenciesFromGuards)
+{
+    // dlb-mp's guarded load must be ctrl-dependent on the first load.
+    auto execs =
+        enumerateExecutions(litmus::paperlib::dlbMp(false));
+    ASSERT_FALSE(execs.empty());
+    bool found_guarded_load = false;
+    for (const auto &ex : execs) {
+        for (const auto &e : ex.events) {
+            if (e.tid == 1 && e.isRead() && e.loc == "d") {
+                found_guarded_load = true;
+                bool has_ctrl = false;
+                for (const auto &src : ex.events) {
+                    if (ex.ctrl.get(src.id, e.id))
+                        has_ctrl = true;
+                }
+                EXPECT_TRUE(has_ctrl);
+            }
+        }
+    }
+    EXPECT_TRUE(found_guarded_load);
+}
+
+TEST(Enumerate, AtomicityFiltersInterveningWrites)
+{
+    // Two competing CAS(0->1) on one location: they cannot both
+    // succeed reading 0, since an atomic's read and write must be
+    // adjacent in coherence.
+    litmus::Test t = litmus::TestBuilder("cas-race")
+                         .global("m", 0)
+                         .thread("atom.cas r0,[m],0,1")
+                         .thread("atom.cas r0,[m],0,1")
+                         .interCta()
+                         .exists("0:r0=0 /\\ 1:r0=0")
+                         .build();
+    auto execs = enumerateExecutions(t);
+    EXPECT_FALSE(execs.empty());
+    for (const auto &ex : execs) {
+        EXPECT_FALSE(ex.finalState.reg(0, "r0") == 0 &&
+                     ex.finalState.reg(1, "r0") == 0)
+            << "both CAS succeeded reading 0";
+    }
+}
+
+TEST(Enumerate, CasFailurePerformsNoWrite)
+{
+    litmus::Test t = litmus::TestBuilder("cas-fail")
+                         .global("m", 7)
+                         .thread("atom.cas r0,[m],0,1")
+                         .interCta()
+                         .exists("0:r0=7")
+                         .build();
+    auto execs = enumerateExecutions(t);
+    ASSERT_FALSE(execs.empty());
+    for (const auto &ex : execs) {
+        EXPECT_EQ(ex.finalState.reg(0, "r0"), 7);
+        EXPECT_EQ(ex.finalState.loc("m"), 7);
+        for (const auto &e : ex.events) {
+            if (e.isWrite() && !e.isInit())
+                FAIL() << "failed CAS produced a write";
+        }
+    }
+}
+
+TEST(Enumerate, FinalMemoryFollowsCoherence)
+{
+    litmus::Test t = litmus::TestBuilder("two-writers")
+                         .global("x", 0)
+                         .thread("st.cg [x],1")
+                         .thread("st.cg [x],2")
+                         .interCta()
+                         .exists("x=1 \\/ x=2")
+                         .build();
+    std::set<int64_t> finals;
+    for (const auto &ex : enumerateExecutions(t))
+        finals.insert(ex.finalState.loc("x"));
+    EXPECT_EQ(finals, (std::set<int64_t>{1, 2}));
+}
+
+TEST(Enumerate, ScopeRelationsFollowScopeTree)
+{
+    auto execs_inter = enumerateExecutions(mp());
+    ASSERT_FALSE(execs_inter.empty());
+    const auto &ex = execs_inter[0];
+    // Find one event of each thread.
+    int e0 = -1, e1 = -1;
+    for (const auto &e : ex.events) {
+        if (e.tid == 0)
+            e0 = e.id;
+        if (e.tid == 1)
+            e1 = e.id;
+    }
+    ASSERT_GE(e0, 0);
+    ASSERT_GE(e1, 0);
+    EXPECT_FALSE(ex.scopeCta.get(e0, e1)); // inter-CTA
+    EXPECT_TRUE(ex.scopeGl.get(e0, e1));
+    EXPECT_TRUE(ex.scopeSys.get(e0, e1));
+
+    auto execs_intra = enumerateExecutions(coRR());
+    ASSERT_FALSE(execs_intra.empty());
+    const auto &ex2 = execs_intra[0];
+    for (const auto &a : ex2.events) {
+        for (const auto &b : ex2.events) {
+            if (a.tid == 0 && b.tid == 1)
+                EXPECT_TRUE(ex2.scopeCta.get(a.id, b.id));
+        }
+    }
+}
+
+TEST(Enumerate, LoopWithBoundedUnrollTerminates)
+{
+    // A spin loop that can exit: CAS until success against an
+    // initially-unlocked mutex. The step budget must not be hit for
+    // the successful path.
+    litmus::Test t = litmus::TestBuilder("spin")
+                         .global("m", 0)
+                         .thread("LOOP: atom.cas r0,[m],0,1;"
+                                 "setp.ne p0,r0,0; @p0 bra LOOP;"
+                                 "ld.cg r1,[m]")
+                         .intraCta()
+                         .exists("0:r1=1")
+                         .build();
+    auto execs = enumerateExecutions(t);
+    EXPECT_FALSE(execs.empty());
+}
+
+TEST(Enumerate, FalseDependencyTracked)
+{
+    // Fig. 13b: and-with-high-bit keeps an address dependency.
+    litmus::Test t =
+        litmus::TestBuilder("dep")
+            .global("x", 0)
+            .global("y", 0)
+            .regLoc(0, "r4", "y")
+            .thread("ld.cg r1,[x]; and.b32 r2,r1,0x80000000;"
+                    "cvt.u64.u32 r3,r2; add.u64 r4,r4,r3;"
+                    "ld.cg r5,[r4]")
+            .intraCta()
+            .exists("0:r5=0")
+            .build();
+    auto execs = enumerateExecutions(t);
+    ASSERT_FALSE(execs.empty());
+    for (const auto &ex : execs) {
+        int first_load = -1, second_load = -1;
+        for (const auto &e : ex.events) {
+            if (e.isRead() && e.loc == "x")
+                first_load = e.id;
+            if (e.isRead() && e.loc == "y")
+                second_load = e.id;
+        }
+        ASSERT_GE(first_load, 0);
+        ASSERT_GE(second_load, 0);
+        EXPECT_TRUE(ex.addr.get(first_load, second_load));
+    }
+}
+
+} // namespace
+} // namespace gpulitmus::axiom

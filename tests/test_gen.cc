@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the diy-style generator: edge naming, cycle synthesis of
+ * the classic idioms, well-formedness of everything generated, and
+ * model verdicts on generated fence variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axiom/enumerate.h"
+#include "cat/models.h"
+#include "gen/generator.h"
+#include "model/checker.h"
+
+namespace gpulitmus::gen {
+namespace {
+
+Edge
+rfe(ScopeAnn s = ScopeAnn::InterCta)
+{
+    Edge e;
+    e.type = Edge::Type::Rfe;
+    e.from = Dir::W;
+    e.to = Dir::R;
+    e.sameLoc = true;
+    e.scope = s;
+    return e;
+}
+
+Edge
+fre(ScopeAnn s = ScopeAnn::InterCta)
+{
+    Edge e;
+    e.type = Edge::Type::Fre;
+    e.from = Dir::R;
+    e.to = Dir::W;
+    e.sameLoc = true;
+    e.scope = s;
+    return e;
+}
+
+Edge
+po(Dir f, Dir t, bool same = false)
+{
+    Edge e;
+    e.type = Edge::Type::Po;
+    e.from = f;
+    e.to = t;
+    e.sameLoc = same;
+    return e;
+}
+
+Edge
+fence(ptx::Scope s, Dir f, Dir t)
+{
+    Edge e;
+    e.type = Edge::Type::Fence;
+    e.from = f;
+    e.to = t;
+    e.sameLoc = false;
+    e.fenceScope = s;
+    return e;
+}
+
+Edge
+dp(DepKind k, Dir t)
+{
+    Edge e;
+    e.type = Edge::Type::Dp;
+    e.from = Dir::R;
+    e.to = t;
+    e.sameLoc = false;
+    e.dep = k;
+    return e;
+}
+
+TEST(Edges, Names)
+{
+    EXPECT_EQ(rfe().name(), "Rfe-dev");
+    EXPECT_EQ(rfe(ScopeAnn::IntraCta).name(), "Rfe-cta");
+    EXPECT_EQ(po(Dir::W, Dir::R).name(), "PodWR");
+    EXPECT_EQ(po(Dir::R, Dir::R, true).name(), "PosRR");
+    EXPECT_EQ(fence(ptx::Scope::Gl, Dir::W, Dir::W).name(),
+              "F.gl-dWW");
+    EXPECT_EQ(dp(DepKind::Addr, Dir::R).name(), "DpAddrdR");
+}
+
+TEST(Synthesise, MpShape)
+{
+    // PodWW ; Rfe ; PodRR ; Fre is the message-passing cycle.
+    auto test = synthesise({po(Dir::W, Dir::W), rfe(),
+                            po(Dir::R, Dir::R), fre()},
+                           "mp-cycle");
+    ASSERT_TRUE(test.has_value());
+    EXPECT_EQ(test->program.numThreads(), 2);
+    EXPECT_EQ(test->locations.size(), 2u);
+    EXPECT_FALSE(test->scopeTree.sameCta(0, 1));
+    // The weak outcome must be allowed by RMO but forbidden by SC.
+    model::Checker rmo(cat::models::rmo());
+    model::Checker sc(cat::models::sc());
+    EXPECT_TRUE(rmo.allows(*test));
+    EXPECT_FALSE(sc.allows(*test));
+}
+
+TEST(Synthesise, CoRRShape)
+{
+    // Rfe ; PosRR ; Fre: read-read coherence.
+    auto test =
+        synthesise({rfe(ScopeAnn::IntraCta),
+                    po(Dir::R, Dir::R, true),
+                    fre(ScopeAnn::IntraCta)},
+                   "coRR-cycle");
+    ASSERT_TRUE(test.has_value());
+    EXPECT_EQ(test->locations.size(), 1u);
+    EXPECT_TRUE(test->scopeTree.sameCta(0, 1));
+    // Allowed under the llh relaxation, forbidden with full
+    // SC-per-location.
+    EXPECT_TRUE(model::Checker(cat::models::ptx()).allows(*test));
+    EXPECT_FALSE(
+        model::Checker(cat::models::scPerLocFull()).allows(*test));
+}
+
+TEST(Synthesise, SbShape)
+{
+    auto test = synthesise({po(Dir::W, Dir::R), fre(),
+                            po(Dir::W, Dir::R), fre()},
+                           "sb-cycle");
+    ASSERT_TRUE(test.has_value());
+    EXPECT_EQ(test->program.numThreads(), 2);
+    EXPECT_TRUE(model::Checker(cat::models::tso()).allows(*test));
+    EXPECT_FALSE(model::Checker(cat::models::sc()).allows(*test));
+}
+
+TEST(Synthesise, GlFencesForbidTheCycle)
+{
+    auto test =
+        synthesise({fence(ptx::Scope::Gl, Dir::W, Dir::W), rfe(),
+                    fence(ptx::Scope::Gl, Dir::R, Dir::R), fre()},
+                   "mp+fences");
+    ASSERT_TRUE(test.has_value());
+    EXPECT_FALSE(model::Checker(cat::models::ptx()).allows(*test));
+}
+
+TEST(Synthesise, CtaFencesInterCtaStayAllowed)
+{
+    // The scoped-model signature: cta fences between inter-CTA
+    // communication do not forbid the cycle.
+    auto test =
+        synthesise({fence(ptx::Scope::Cta, Dir::W, Dir::W), rfe(),
+                    fence(ptx::Scope::Cta, Dir::R, Dir::R), fre()},
+                   "mp+ctas-inter");
+    ASSERT_TRUE(test.has_value());
+    EXPECT_TRUE(model::Checker(cat::models::ptx()).allows(*test));
+
+    auto intra = synthesise(
+        {fence(ptx::Scope::Cta, Dir::W, Dir::W),
+         rfe(ScopeAnn::IntraCta),
+         fence(ptx::Scope::Cta, Dir::R, Dir::R),
+         fre(ScopeAnn::IntraCta)},
+        "mp+ctas-intra");
+    ASSERT_TRUE(intra.has_value());
+    EXPECT_FALSE(model::Checker(cat::models::ptx()).allows(*intra));
+}
+
+TEST(Synthesise, DependenciesForbidLb)
+{
+    // DpAddrdW ; Rfe on both sides: lb with address dependencies.
+    auto test = synthesise(
+        {dp(DepKind::Addr, Dir::W), rfe(), dp(DepKind::Addr, Dir::W),
+         rfe()},
+        "lb+deps");
+    ASSERT_TRUE(test.has_value());
+    EXPECT_FALSE(model::Checker(cat::models::ptx()).allows(*test));
+    // Without the dependencies lb is allowed.
+    auto plain = synthesise(
+        {po(Dir::R, Dir::W), rfe(), po(Dir::R, Dir::W), rfe()},
+        "lb");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_TRUE(model::Checker(cat::models::ptx()).allows(*plain));
+}
+
+TEST(Synthesise, RejectsIllFormedCycles)
+{
+    // Direction mismatch.
+    EXPECT_FALSE(synthesise({rfe(), rfe()}, "bad").has_value());
+    // No communication edge at the end.
+    EXPECT_FALSE(synthesise({rfe(), po(Dir::R, Dir::W)}, "bad")
+                     .has_value());
+    // Unsatisfiable: read both reads-from and from-reads one write.
+    EXPECT_FALSE(synthesise({rfe(), fre()}, "bad").has_value());
+}
+
+TEST(Generate, ProducesManyDistinctWellFormedTests)
+{
+    GeneratorOptions opts;
+    opts.maxEdges = 4;
+    opts.maxTests = 500;
+    auto tests = generate(defaultPool(), opts);
+    EXPECT_GE(tests.size(), 100u);
+
+    std::set<std::string> names;
+    for (const auto &g : tests) {
+        EXPECT_TRUE(names.insert(g.cycleName).second)
+            << "duplicate " << g.cycleName;
+        g.test.validate();
+        // Every generated test has candidate executions and the
+        // asked-for outcome is reachable in *some* (unconstrained)
+        // execution, i.e. the condition is not vacuous.
+        auto execs = axiom::enumerateExecutions(g.test);
+        EXPECT_FALSE(execs.empty()) << g.cycleName;
+        bool reachable = false;
+        for (const auto &ex : execs)
+            reachable |= g.test.condition.eval(ex.finalState);
+        EXPECT_TRUE(reachable)
+            << g.cycleName << " asks for an unreachable outcome";
+    }
+}
+
+TEST(Generate, HonoursCaps)
+{
+    GeneratorOptions opts;
+    opts.maxEdges = 5;
+    opts.maxTests = 37;
+    EXPECT_EQ(generate(defaultPool(), opts).size(), 37u);
+}
+
+TEST(Generate, ScopedPoolAddsIntraCtaVariants)
+{
+    GeneratorOptions opts;
+    opts.maxEdges = 3;
+    opts.maxTests = 10000;
+    auto scoped = generate(defaultPool(true), opts);
+    auto unscoped = generate(defaultPool(false), opts);
+    EXPECT_GT(scoped.size(), unscoped.size());
+}
+
+} // namespace
+} // namespace gpulitmus::gen

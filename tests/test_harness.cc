@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the harness: reproducibility, histogram integrity,
+ * iteration plumbing, and the incidence ordering the incantations
+ * induce (Tab. 6's qualitative claims).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "harness/runner.h"
+#include "litmus/library.h"
+
+namespace gpulitmus::harness {
+namespace {
+
+namespace pl = litmus::paperlib;
+
+TEST(Runner, HistogramTotalsMatchIterations)
+{
+    RunConfig cfg;
+    cfg.iterations = 500;
+    litmus::Histogram h = run(sim::chip("Titan"), pl::mp(), cfg);
+    EXPECT_EQ(h.total(), 500u);
+    uint64_t sum = 0;
+    for (const auto &[key, count] : h.counts())
+        sum += count;
+    EXPECT_EQ(sum, 500u);
+}
+
+TEST(Runner, ReproducibleWithSameSeed)
+{
+    RunConfig cfg;
+    cfg.iterations = 2000;
+    litmus::Histogram a = run(sim::chip("TesC"), pl::sb(), cfg);
+    litmus::Histogram b = run(sim::chip("TesC"), pl::sb(), cfg);
+    EXPECT_EQ(a.observed(), b.observed());
+    EXPECT_EQ(a.counts(), b.counts());
+}
+
+TEST(Runner, DifferentSeedsDiffer)
+{
+    RunConfig a_cfg, b_cfg;
+    a_cfg.iterations = b_cfg.iterations = 5000;
+    b_cfg.seed = a_cfg.seed + 1;
+    litmus::Histogram a = run(sim::chip("Titan"), pl::sb(), a_cfg);
+    litmus::Histogram b = run(sim::chip("Titan"), pl::sb(), b_cfg);
+    // Weak counts fluctuate between seeds (they are samples).
+    EXPECT_NE(a.counts(), b.counts());
+}
+
+TEST(Runner, ObservePer100kNormalises)
+{
+    RunConfig cfg;
+    cfg.iterations = 1000;
+    // A test whose condition always holds: final x=1 after one store.
+    litmus::Test t = litmus::TestBuilder("always")
+                         .global("x", 0)
+                         .thread("st.cg [x],1")
+                         .intraCta()
+                         .exists("x=1")
+                         .build();
+    EXPECT_EQ(observePer100k(sim::chip("Titan"), t, cfg), 100000u);
+}
+
+TEST(Runner, DefaultIterationsFromEnv)
+{
+    setenv("GPULITMUS_ITERS", "1234", 1);
+    EXPECT_EQ(defaultIterations(), 1234u);
+    setenv("GPULITMUS_ITERS", "bogus", 1);
+    EXPECT_EQ(defaultIterations(), 100000u);
+    unsetenv("GPULITMUS_ITERS");
+    EXPECT_EQ(defaultIterations(), 100000u);
+}
+
+TEST(Runner, MpAllOutcomesAppear)
+{
+    RunConfig cfg;
+    cfg.iterations = 20000;
+    litmus::Histogram h = run(sim::chip("Titan"), pl::mp(), cfg);
+    // All four r1/r2 combinations should be reachable under stress.
+    EXPECT_EQ(h.counts().size(), 4u);
+}
+
+TEST(Incantations, StressIsRequiredOnNvidia)
+{
+    RunConfig with, without;
+    with.iterations = without.iterations = 8000;
+    with.inc = sim::Incantations::all();
+    without.inc = sim::Incantations::all();
+    without.inc.memoryStress = false;
+    without.inc.bankConflicts = false;
+    EXPECT_GT(run(sim::chip("Titan"), pl::sb(), with).observed(), 0u);
+    EXPECT_EQ(run(sim::chip("Titan"), pl::sb(), without).observed(),
+              0u);
+}
+
+TEST(Incantations, AmdWeakWithoutStress)
+{
+    RunConfig cfg;
+    cfg.iterations = 8000;
+    cfg.inc = sim::Incantations::none();
+    EXPECT_GT(run(sim::chip("HD7970"), pl::lb(), cfg).observed(), 0u);
+}
+
+TEST(Incantations, SyncIncreasesInterCtaIncidence)
+{
+    RunConfig base, sync;
+    base.iterations = sync.iterations = 30000;
+    base.inc = sim::Incantations::fromColumn(9);  // stress only
+    sync.inc = sim::Incantations::fromColumn(11); // stress + sync
+    uint64_t without_sync =
+        run(sim::chip("Titan"), pl::sb(), base).observed();
+    uint64_t with_sync =
+        run(sim::chip("Titan"), pl::sb(), sync).observed();
+    EXPECT_GT(with_sync, without_sync);
+}
+
+TEST(Incantations, BankConflictsNeededForCoRRWithoutStress)
+{
+    RunConfig bank_rand, rand_only;
+    bank_rand.iterations = rand_only.iterations = 20000;
+    bank_rand.inc = sim::Incantations::fromColumn(6); // bank + rand
+    rand_only.inc = sim::Incantations::fromColumn(2); // rand alone
+    EXPECT_GT(
+        run(sim::chip("Titan"), pl::coRR(), bank_rand).observed(),
+        0u);
+    EXPECT_EQ(
+        run(sim::chip("Titan"), pl::coRR(), rand_only).observed(),
+        0u);
+}
+
+TEST(Incantations, BankConflictsDampenInterCtaOnNvidia)
+{
+    RunConfig c12, c16;
+    c12.iterations = c16.iterations = 40000;
+    c12.inc = sim::Incantations::fromColumn(12);
+    c16.inc = sim::Incantations::fromColumn(16);
+    uint64_t without_bank =
+        run(sim::chip("Titan"), pl::lb(), c12).observed();
+    uint64_t with_bank =
+        run(sim::chip("Titan"), pl::lb(), c16).observed();
+    EXPECT_GT(without_bank, with_bank);
+}
+
+} // namespace
+} // namespace gpulitmus::harness

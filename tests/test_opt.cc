@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the mock assembler, optcheck and the AMD OpenCL pipeline
+ * (Sec. 4.4 and the compiler rows of Tab. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/library.h"
+#include "opt/amd.h"
+#include "opt/optcheck.h"
+#include "opt/ptxas.h"
+
+namespace gpulitmus::opt {
+namespace {
+
+namespace pl = litmus::paperlib;
+
+int
+memAccessCount(const SassThread &t)
+{
+    int n = 0;
+    for (const auto &i : t.instrs)
+        n += i.kind == SassInstr::Kind::MemAccess;
+    return n;
+}
+
+TEST(Ptxas, O3PreservesAccessesOneToOne)
+{
+    litmus::Test test = pl::mp();
+    PtxasOptions opts;
+    opts.optLevel = 3;
+    SassProgram sass = assemble(test, opts);
+    ASSERT_EQ(sass.threads.size(), 2u);
+    EXPECT_EQ(memAccessCount(sass.threads[0]), 2);
+    EXPECT_EQ(memAccessCount(sass.threads[1]), 2);
+    EXPECT_TRUE(optcheck(sass).ok);
+}
+
+TEST(Ptxas, O0InsertsFiller)
+{
+    PtxasOptions o0;
+    o0.optLevel = 0;
+    PtxasOptions o3;
+    o3.optLevel = 3;
+    SassProgram with_filler = assemble(pl::mp(), o0);
+    SassProgram without = assemble(pl::mp(), o3);
+    auto fillers = [](const SassProgram &p) {
+        int n = 0;
+        for (const auto &t : p.threads)
+            for (const auto &i : t.instrs)
+                n += i.kind == SassInstr::Kind::Filler;
+        return n;
+    };
+    EXPECT_GT(fillers(with_filler), 0);
+    EXPECT_EQ(fillers(without), 0);
+    // Filler never breaks the specification.
+    EXPECT_TRUE(optcheck(with_filler).ok);
+}
+
+TEST(Ptxas, O3RemovesXorSelfDependency)
+{
+    // Fig. 13a: the xor-with-self chain is provably zero and removed.
+    litmus::Test test =
+        litmus::TestBuilder("dep-xor")
+            .global("x", 0)
+            .global("y", 0)
+            .regLoc(0, "r4", "y")
+            .thread("ld.cg r1,[x]; xor.b32 r2,r1,r1;"
+                    "cvt.u64.u32 r3,r2; add.u64 r4,r4,r3;"
+                    "ld.cg r5,[r4]")
+            .intraCta()
+            .exists("0:r5=0")
+            .build();
+    PtxasOptions o3;
+    o3.optLevel = 3;
+    SassProgram sass = assemble(test, o3);
+    EXPECT_FALSE(sass.notes.empty());
+    // Lowered test has no ALU chain left between the loads.
+    litmus::Test compiled = sassToTest(test, sass);
+    int alu = 0;
+    for (const auto &in : compiled.program.threads[0].instrs)
+        alu += !in.isMemAccess() && !in.isFence();
+    EXPECT_EQ(alu, 0);
+}
+
+TEST(Ptxas, O3KeepsAndHighBitDependency)
+{
+    // Fig. 13b: and-with-0x80000000 needs inter-thread reasoning.
+    litmus::Test test =
+        litmus::TestBuilder("dep-and")
+            .global("x", 0)
+            .global("y", 0)
+            .regLoc(0, "r4", "y")
+            .thread("ld.cg r1,[x]; and.b32 r2,r1,0x80000000;"
+                    "cvt.u64.u32 r3,r2; add.u64 r4,r4,r3;"
+                    "ld.cg r5,[r4]")
+            .intraCta()
+            .exists("0:r5=0")
+            .build();
+    PtxasOptions o3;
+    o3.optLevel = 3;
+    SassProgram sass = assemble(test, o3);
+    EXPECT_TRUE(sass.notes.empty());
+    litmus::Test compiled = sassToTest(test, sass);
+    int alu = 0;
+    for (const auto &in : compiled.program.threads[0].instrs)
+        alu += !in.isMemAccess() && !in.isFence();
+    EXPECT_EQ(alu, 3); // and, cvt, add all survive
+}
+
+TEST(Ptxas, Cuda55MaxwellVolatileBug)
+{
+    litmus::Test test =
+        litmus::TestBuilder("vol-rr")
+            .global("x", 0)
+            .thread("ld.volatile r1,[x]; ld.volatile r2,[x]")
+            .intraCta()
+            .exists("0:r1=1 /\\ 0:r2=0")
+            .build();
+    PtxasOptions bad;
+    bad.optLevel = 3;
+    bad.sdkVersion = "5.5";
+    bad.targetMaxwell = true;
+    SassProgram sass = assemble(test, bad);
+    EXPECT_FALSE(optcheck(sass).ok);
+    EXPECT_FALSE(sass.notes.empty());
+
+    // CUDA 6.0 does not reorder.
+    PtxasOptions good = bad;
+    good.sdkVersion = "6.0";
+    EXPECT_TRUE(optcheck(assemble(test, good)).ok);
+    // Nor does 5.5 on non-Maxwell targets.
+    PtxasOptions kepler = bad;
+    kepler.targetMaxwell = false;
+    EXPECT_TRUE(optcheck(assemble(test, kepler)).ok);
+}
+
+TEST(Optcheck, SpecEncodingRoundTrip)
+{
+    uint32_t w = encodeSpec(AccessType::LoadCa, 3);
+    EXPECT_EQ(w & kSpecMagicMask, kSpecMagic);
+    EXPECT_EQ((w >> 8) & 0xf,
+              static_cast<uint32_t>(AccessType::LoadCa));
+    EXPECT_EQ(w & 0xff, 3u);
+}
+
+TEST(Optcheck, DetectsRemovedAccess)
+{
+    litmus::Test test = pl::mp();
+    PtxasOptions opts;
+    SassProgram sass = assemble(test, opts);
+    // Drop one real access behind the specification's back.
+    auto &instrs = sass.threads[0].instrs;
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (instrs[i].kind == SassInstr::Kind::MemAccess) {
+            instrs.erase(instrs.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            break;
+        }
+    }
+    CheckResult res = optcheck(sass);
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.threads[0].problems.empty());
+}
+
+TEST(Optcheck, DetectsReorderedAccesses)
+{
+    litmus::Test test = pl::mp();
+    SassProgram sass = assemble(test, {});
+    auto &instrs = sass.threads[1].instrs;
+    SassInstr *first = nullptr;
+    SassInstr *second = nullptr;
+    for (auto &i : instrs) {
+        if (i.kind != SassInstr::Kind::MemAccess)
+            continue;
+        if (!first)
+            first = &i;
+        else if (!second)
+            second = &i;
+    }
+    ASSERT_TRUE(first && second);
+    std::swap(*first, *second);
+    EXPECT_FALSE(optcheck(sass).ok);
+}
+
+TEST(Amd, Gcn10RemovesFenceBetweenLoads)
+{
+    auto result = amdCompile(pl::mp(ptx::Scope::Gl),
+                             sim::chip("HD7970"));
+    EXPECT_FALSE(result.quirks.empty());
+    // Reader thread lost its fence; writer thread kept its (between
+    // two stores).
+    int fences_t1 = 0;
+    for (const auto &in : result.compiled.program.threads[1].instrs)
+        fences_t1 += in.isFence();
+    EXPECT_EQ(fences_t1, 0);
+    int fences_t0 = 0;
+    for (const auto &in : result.compiled.program.threads[0].instrs)
+        fences_t0 += in.isFence();
+    EXPECT_EQ(fences_t0, 1);
+    EXPECT_FALSE(result.miscompiled); // legality is disputed, not n/a
+}
+
+TEST(Amd, TeraScale2ReordersLoadPastCas)
+{
+    auto result =
+        amdCompile(pl::dlbLb(false), sim::chip("HD6570"));
+    EXPECT_TRUE(result.miscompiled);
+    // T1 now starts with the CAS.
+    const auto &t1 = result.compiled.program.threads[1].instrs;
+    EXPECT_EQ(t1[0].op, ptx::Opcode::AtomCas);
+    EXPECT_EQ(t1[1].op, ptx::Opcode::Ld);
+}
+
+TEST(Amd, Hd7970DoesNotReorderLoadCas)
+{
+    auto result =
+        amdCompile(pl::dlbLb(false), sim::chip("HD7970"));
+    EXPECT_FALSE(result.miscompiled);
+}
+
+TEST(Amd, CoalescingSuppressedByDefault)
+{
+    auto with_suppression =
+        amdCompile(pl::coRR(), sim::chip("HD7970"), true);
+    EXPECT_FALSE(with_suppression.miscompiled);
+    auto without =
+        amdCompile(pl::coRR(), sim::chip("HD7970"), false);
+    EXPECT_TRUE(without.miscompiled);
+    // The second load became a register move.
+    const auto &t1 = without.compiled.program.threads[1].instrs;
+    EXPECT_EQ(t1[1].op, ptx::Opcode::Mov);
+}
+
+TEST(Amd, UntouchedTestPassesThrough)
+{
+    auto result = amdCompile(pl::sb(), sim::chip("HD7970"));
+    EXPECT_TRUE(result.quirks.empty());
+    EXPECT_EQ(result.compiled.program.numInstructions(),
+              pl::sb().program.numInstructions());
+}
+
+TEST(SassToTest, RunnableAndEquivalentShape)
+{
+    litmus::Test test = pl::casSl(false);
+    SassProgram sass = assemble(test, {});
+    litmus::Test compiled = sassToTest(test, sass);
+    EXPECT_EQ(compiled.program.numThreads(),
+              test.program.numThreads());
+    int orig_mem = 0, compiled_mem = 0;
+    for (const auto &t : test.program.threads)
+        for (const auto &i : t.instrs)
+            orig_mem += i.isMemAccess();
+    for (const auto &t : compiled.program.threads)
+        for (const auto &i : t.instrs)
+            compiled_mem += i.isMemAccess();
+    EXPECT_EQ(orig_mem, compiled_mem);
+}
+
+} // namespace
+} // namespace gpulitmus::opt

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the chip registry and the operational machine:
+ * determinism, incantation column encoding, per-chip weak-behaviour
+ * signatures, fence semantics, and per-location coherence invariants
+ * under randomised stress (property sweeps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/library.h"
+#include "litmus/outcome.h"
+#include "sim/machine.h"
+
+namespace gpulitmus::sim {
+namespace {
+
+namespace pl = litmus::paperlib;
+
+uint64_t
+countWeak(const ChipProfile &chip, const litmus::Test &test,
+          Incantations inc, uint64_t iters, uint64_t seed = 7)
+{
+    MachineOptions opts;
+    opts.inc = inc;
+    Machine machine(chip, test, opts);
+    Rng rng(seed);
+    uint64_t weak = 0;
+    for (uint64_t i = 0; i < iters; ++i)
+        weak += test.condition.eval(machine.run(rng));
+    return weak;
+}
+
+TEST(Chips, RegistryMatchesTable1)
+{
+    EXPECT_EQ(allChips().size(), 8u);
+    EXPECT_EQ(resultChips().size(), 7u); // GTX 280 omitted
+    EXPECT_EQ(chip("Titan").chipName, "GTX Titan");
+    EXPECT_EQ(chip("TesC").arch, "Fermi");
+    EXPECT_EQ(chip("HD7970").arch, "GCN 1.0");
+    EXPECT_TRUE(chip("HD6570").isAmd());
+    EXPECT_TRUE(chip("GTX7").isNvidia());
+    EXPECT_EQ(chip("GTX6").sdk, "5.0"); // Tab. 4
+}
+
+TEST(Chips, CoRRSignature)
+{
+    // Fermi and Kepler allow the load-load hazard; Maxwell, Tesla and
+    // AMD do not (Fig. 1).
+    EXPECT_TRUE(chip("GTX5").allowCoRR);
+    EXPECT_TRUE(chip("TesC").allowCoRR);
+    EXPECT_TRUE(chip("GTX6").allowCoRR);
+    EXPECT_TRUE(chip("Titan").allowCoRR);
+    EXPECT_FALSE(chip("GTX7").allowCoRR);
+    EXPECT_FALSE(chip("GTX280").allowCoRR);
+    EXPECT_FALSE(chip("HD6570").allowCoRR);
+    EXPECT_FALSE(chip("HD7970").allowCoRR);
+}
+
+TEST(Incantations, ColumnRoundTrip)
+{
+    for (int col = 1; col <= 16; ++col)
+        EXPECT_EQ(Incantations::fromColumn(col).column(), col);
+}
+
+TEST(Incantations, Column16IsAll)
+{
+    Incantations inc = Incantations::fromColumn(16);
+    EXPECT_TRUE(inc.memoryStress);
+    EXPECT_TRUE(inc.bankConflicts);
+    EXPECT_TRUE(inc.threadSync);
+    EXPECT_TRUE(inc.threadRandomisation);
+    EXPECT_EQ(Incantations::fromColumn(1).str(), "none");
+}
+
+TEST(Incantations, PaperColumnComparisons)
+{
+    // Columns 12 and 16 differ only by bank conflicts; 15 and 16 by
+    // thread randomisation; 10 and 12 by thread synchronisation.
+    auto c12 = Incantations::fromColumn(12);
+    auto c16 = Incantations::fromColumn(16);
+    EXPECT_NE(c12.bankConflicts, c16.bankConflicts);
+    EXPECT_EQ(c12.memoryStress, c16.memoryStress);
+    auto c15 = Incantations::fromColumn(15);
+    EXPECT_NE(c15.threadRandomisation, c16.threadRandomisation);
+    EXPECT_EQ(c15.bankConflicts, c16.bankConflicts);
+    auto c10 = Incantations::fromColumn(10);
+    EXPECT_NE(c10.threadSync, c12.threadSync);
+    EXPECT_EQ(c10.threadRandomisation, c12.threadRandomisation);
+}
+
+TEST(Machine, DeterministicGivenSeed)
+{
+    litmus::Test test = pl::mp();
+    Machine m1(chip("Titan"), test, {});
+    Machine m2(chip("Titan"), test, {});
+    Rng r1(99), r2(99);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(m1.run(r1), m2.run(r2));
+}
+
+TEST(Machine, SequentialExecutionIsCorrect)
+{
+    // Single thread, no concurrency: the machine must compute the
+    // architecturally-correct result under any incantations.
+    litmus::Test test = litmus::TestBuilder("seq")
+                            .global("x", 5)
+                            .thread("ld.cg r1,[x]; add r2,r1,10;"
+                                    "st.cg [x],r2; ld.cg r3,[x]")
+                            .intraCta()
+                            .exists("0:r3=15 /\\ x=15")
+                            .build();
+    for (int col = 1; col <= 16; ++col) {
+        MachineOptions opts;
+        opts.inc = Incantations::fromColumn(col);
+        Machine machine(chip("TesC"), test, opts);
+        Rng rng(static_cast<uint64_t>(col));
+        for (int i = 0; i < 50; ++i) {
+            litmus::FinalState st = machine.run(rng);
+            EXPECT_EQ(st.reg(0, "r3"), 15);
+            EXPECT_EQ(st.loc("x"), 15);
+        }
+    }
+}
+
+TEST(Machine, GuardsAndBranches)
+{
+    litmus::Test test =
+        litmus::TestBuilder("spin")
+            .global("m", 0)
+            .thread("LOOP: atom.cas r0,[m],0,1; setp.ne p0,r0,0;"
+                    "@p0 bra LOOP; ld.cg r1,[m]")
+            .intraCta()
+            .exists("0:r1=1")
+            .build();
+    Machine machine(chip("Titan"), test, {});
+    Rng rng(3);
+    litmus::FinalState st = machine.run(rng);
+    EXPECT_EQ(st.reg(0, "r1"), 1);
+    EXPECT_EQ(st.loc("m"), 1);
+}
+
+TEST(Machine, NoWeakBehaviourWithoutIncantations)
+{
+    // Tab. 6 column 1 on Nvidia: nothing is observed.
+    for (const char *t : {"mp", "sb", "lb"}) {
+        litmus::Test test = t == std::string("mp") ? pl::mp()
+                            : t == std::string("sb") ? pl::sb()
+                                                     : pl::lb();
+        EXPECT_EQ(countWeak(chip("Titan"), test,
+                            Incantations::none(), 3000),
+                  0u)
+            << t;
+    }
+}
+
+TEST(Machine, WeakBehavioursUnderFullIncantations)
+{
+    EXPECT_GT(countWeak(chip("Titan"), pl::mp(),
+                        Incantations::all(), 5000),
+              0u);
+    EXPECT_GT(countWeak(chip("Titan"), pl::sb(),
+                        Incantations::all(), 5000),
+              0u);
+    EXPECT_GT(countWeak(chip("Titan"), pl::coRR(),
+                        Incantations::all(), 5000),
+              0u);
+    EXPECT_GT(countWeak(chip("HD7970"), pl::lb(),
+                        Incantations::all(), 5000),
+              0u);
+}
+
+TEST(Machine, MaxwellIsStrong)
+{
+    for (const litmus::Test &test :
+         {pl::mp(), pl::sb(), pl::lb(), pl::coRR(), pl::mpVolatile(),
+          pl::casSl(false)}) {
+        EXPECT_EQ(countWeak(chip("GTX7"), test, Incantations::all(),
+                            4000),
+                  0u)
+            << test.name;
+    }
+}
+
+TEST(Machine, GlFencesRestoreMpSbLb)
+{
+    using ptx::Scope;
+    for (const char *c : {"TesC", "GTX6", "Titan", "HD7970"}) {
+        EXPECT_EQ(countWeak(chip(c), pl::mp(Scope::Gl),
+                            Incantations::all(), 4000),
+                  0u)
+            << c;
+        EXPECT_EQ(countWeak(chip(c), pl::sb(Scope::Gl),
+                            Incantations::all(), 4000),
+                  0u)
+            << c;
+        EXPECT_EQ(countWeak(chip(c), pl::lb(Scope::Gl),
+                            Incantations::all(), 4000),
+                  0u)
+            << c;
+    }
+}
+
+TEST(Machine, CtaFenceLeaksInterCtaOnTitan)
+{
+    // Sec. 6: lb+membar.ctas is observed inter-CTA...
+    EXPECT_GT(countWeak(chip("Titan"), pl::lbMembarCtas(),
+                        Incantations::all(), 60000),
+              0u);
+    // ...but the same fences forbid the intra-CTA variant (the model
+    // forbids it, so the simulator must too).
+    EXPECT_EQ(countWeak(chip("Titan"),
+                        pl::lb(ptx::Scope::Cta, false),
+                        Incantations::all(), 20000),
+              0u);
+}
+
+TEST(Machine, CasSlRequiresStoreBufferOrAtomPass)
+{
+    EXPECT_EQ(countWeak(chip("GTX5"), pl::casSl(false),
+                        Incantations::all(), 20000),
+              0u);
+    EXPECT_GT(countWeak(chip("Titan"), pl::casSl(false),
+                        Incantations::all(), 60000),
+              0u);
+    EXPECT_GT(countWeak(chip("HD7970"), pl::casSl(false),
+                        Incantations::all(), 60000),
+              0u);
+}
+
+TEST(Machine, FencesFixTheProgrammingAssumptionTests)
+{
+    for (const char *c : {"TesC", "GTX6", "Titan", "HD7970"}) {
+        EXPECT_EQ(countWeak(chip(c), pl::casSl(true),
+                            Incantations::all(), 10000),
+                  0u)
+            << c;
+        EXPECT_EQ(countWeak(chip(c), pl::dlbLb(true),
+                            Incantations::all(), 10000),
+                  0u)
+            << c;
+        EXPECT_EQ(countWeak(chip(c), pl::dlbMp(true),
+                            Incantations::all(), 10000),
+                  0u)
+            << c;
+    }
+}
+
+/**
+ * Property sweep: per-location sequential consistency minus the
+ * load-load hazard must hold in every simulated final state — a
+ * single-location test can only ever end with the last coherence
+ * value, and a same-thread read after a same-thread write must not
+ * read an older value.
+ */
+class CoherenceInvariant
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(CoherenceInvariant, WriteReadSameThreadNeverStale)
+{
+    auto [chip_name, column] = GetParam();
+    litmus::Test test =
+        litmus::TestBuilder("wr-own")
+            .global("x", 0)
+            .thread("st.cg [x],1; ld.ca r1,[x]; ld.cg r2,[x]")
+            .thread("st.cg [x],2")
+            .interCta()
+            .exists("0:r1=0 \\/ 0:r2=0")
+            .build();
+    MachineOptions opts;
+    opts.inc = Incantations::fromColumn(column);
+    Machine machine(chip(chip_name), test, opts);
+    Rng rng(static_cast<uint64_t>(column) * 977);
+    for (int i = 0; i < 3000; ++i) {
+        litmus::FinalState st = machine.run(rng);
+        // After writing 1, this thread may read 1 or 2, never 0.
+        EXPECT_NE(st.reg(0, "r1"), 0);
+        EXPECT_NE(st.reg(0, "r2"), 0);
+        // Final value is one of the two writes.
+        EXPECT_TRUE(st.loc("x") == 1 || st.loc("x") == 2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipsAndColumns, CoherenceInvariant,
+    ::testing::Combine(::testing::Values("GTX5", "TesC", "Titan",
+                                         "GTX7", "HD7970"),
+                       ::testing::Values(1, 6, 9, 12, 16)));
+
+/** Same-thread same-location stores must never be reordered. */
+class CoherenceWW
+    : public ::testing::TestWithParam<std::tuple<const char *, int>>
+{
+};
+
+TEST_P(CoherenceWW, ProgramOrderOfWritesRespected)
+{
+    auto [chip_name, column] = GetParam();
+    litmus::Test test = litmus::TestBuilder("coww")
+                            .global("x", 0)
+                            .thread("st.cg [x],1; st.cg [x],2")
+                            .thread("ld.cg r1,[x]")
+                            .interCta()
+                            .exists("x=1")
+                            .build();
+    MachineOptions opts;
+    opts.inc = Incantations::fromColumn(column);
+    Machine machine(chip(chip_name), test, opts);
+    Rng rng(static_cast<uint64_t>(column) * 1237);
+    for (int i = 0; i < 3000; ++i) {
+        litmus::FinalState st = machine.run(rng);
+        EXPECT_EQ(st.loc("x"), 2) << "same-address stores reordered";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChipsAndColumns, CoherenceWW,
+    ::testing::Combine(::testing::Values("GTX5", "TesC", "Titan",
+                                         "GTX7", "HD6570", "HD7970"),
+                       ::testing::Values(1, 6, 9, 12, 16)));
+
+} // namespace
+} // namespace gpulitmus::sim

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * The gpulitmus command-line tool — the workflow of the paper's
+ * litmus/herd/diy tools behind one binary:
+ *
+ *   gpulitmus run <file.litmus> [--chip NAME] [--iterations N]
+ *            [--column 1..16]            run a test on a simulated chip
+ *   gpulitmus check <file.litmus> [--model NAME]
+ *                                        herd-style model evaluation
+ *   gpulitmus show <file.litmus>         parse and pretty-print
+ *   gpulitmus sass <file.litmus> [-O N] [--sdk V] [--maxwell]
+ *                                        assemble + optcheck
+ *   gpulitmus generate [--max-edges N] [--max-tests N]
+ *                                        diy-style test generation
+ *   gpulitmus chips                      list the chip registry
+ *   gpulitmus models                     list the built-in models
+ *
+ * Exit status: 0 on success, 1 on usage/parse errors, 2 when a check
+ * fails (optcheck violation or ~exists condition observed).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cat/models.h"
+#include "common/strutil.h"
+#include "gen/generator.h"
+#include "harness/runner.h"
+#include "litmus/parser.h"
+#include "model/baseline.h"
+#include "model/checker.h"
+#include "opt/amd.h"
+#include "opt/optcheck.h"
+#include "opt/ptxas.h"
+
+using namespace gpulitmus;
+
+namespace {
+
+struct Args
+{
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> flags;
+
+    bool
+    has(const std::string &name) const
+    {
+        return flags.count(name) > 0;
+    }
+
+    std::string
+    get(const std::string &name, const std::string &fallback) const
+    {
+        auto it = flags.find(name);
+        return it == flags.end() ? fallback : it->second;
+    }
+
+    int64_t
+    getInt(const std::string &name, int64_t fallback) const
+    {
+        auto it = flags.find(name);
+        if (it == flags.end())
+            return fallback;
+        auto v = parseInt(it->second);
+        return v ? *v : fallback;
+    }
+};
+
+Args
+parseArgs(int argc, char **argv, int start)
+{
+    Args args;
+    for (int i = start; i < argc; ++i) {
+        std::string a = argv[i];
+        if (startsWith(a, "--")) {
+            std::string name = a.substr(2);
+            std::string value = "true";
+            auto eq = name.find('=');
+            if (eq != std::string::npos) {
+                value = name.substr(eq + 1);
+                name = name.substr(0, eq);
+            } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+                value = argv[++i];
+            }
+            args.flags[name] = value;
+        } else if (startsWith(a, "-O")) {
+            args.flags["opt-level"] = a.substr(2);
+        } else {
+            args.positional.push_back(a);
+        }
+    }
+    return args;
+}
+
+std::optional<litmus::Test>
+loadTest(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "error: cannot open '" << path << "'\n";
+        return std::nullopt;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    litmus::ParseError err;
+    auto test = litmus::parseTest(buffer.str(), &err);
+    if (!test) {
+        std::cerr << "error: " << path << ": " << err.message << "\n";
+        return std::nullopt;
+    }
+    return test;
+}
+
+const cat::Model &
+modelByName(const std::string &name)
+{
+    if (name == "rmo")
+        return cat::models::rmo();
+    if (name == "sc")
+        return cat::models::sc();
+    if (name == "tso")
+        return cat::models::tso();
+    if (name == "sc-per-loc-full")
+        return cat::models::scPerLocFull();
+    if (name == "operational" || name == "sorensen")
+        return model::operationalBaseline();
+    if (name != "ptx")
+        std::cerr << "warning: unknown model '" << name
+                  << "', using ptx\n";
+    return cat::models::ptx();
+}
+
+int
+cmdRun(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus run <file.litmus> [--chip"
+                     " NAME] [--iterations N] [--column 1..16]\n";
+        return 1;
+    }
+    auto test = loadTest(args.positional[0]);
+    if (!test)
+        return 1;
+
+    harness::RunConfig cfg;
+    cfg.iterations = static_cast<uint64_t>(args.getInt(
+        "iterations",
+        static_cast<int64_t>(harness::defaultIterations())));
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 0x6c69));
+    int column = static_cast<int>(args.getInt("column", 16));
+    cfg.inc = sim::Incantations::fromColumn(column);
+    const sim::ChipProfile &chip =
+        sim::chip(args.get("chip", "Titan"));
+
+    litmus::Test to_run = *test;
+    if (chip.isAmd()) {
+        auto compiled = opt::amdCompile(to_run, chip);
+        for (const auto &q : compiled.quirks)
+            std::cout << "compile note: " << q << "\n";
+        if (compiled.miscompiled) {
+            std::cout << "test miscompiled for " << chip.shortName
+                      << ": result is n/a\n";
+            return 2;
+        }
+        to_run = compiled.compiled;
+    }
+
+    std::cout << "chip: " << chip.vendor << " " << chip.chipName
+              << "; incantations: " << cfg.inc.str() << "; "
+              << cfg.iterations << " iterations\n\n";
+    litmus::Histogram hist = harness::run(chip, to_run, cfg);
+    std::cout << hist.str();
+    if (to_run.quantifier == litmus::Quantifier::NotExists &&
+        hist.observed() > 0)
+        return 2;
+    return 0;
+}
+
+int
+cmdCheck(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus check <file.litmus>"
+                     " [--model ptx|rmo|sc|tso|operational]\n";
+        return 1;
+    }
+    auto test = loadTest(args.positional[0]);
+    if (!test)
+        return 1;
+    const cat::Model &m = modelByName(args.get("model", "ptx"));
+    model::Checker checker(m);
+    model::Verdict v = checker.check(*test);
+    std::cout << "model " << m.name() << ": " << v.numCandidates
+              << " candidates, " << v.numAllowed << " allowed\n";
+    std::cout << "condition "
+              << litmus::toString(test->quantifier) << " ("
+              << test->condition.str() << "): " << v.verdict << "\n";
+    std::cout << "allowed outcomes:\n";
+    for (const auto &key : v.allowedKeys)
+        std::cout << "  " << key << "\n";
+    if (!v.forbiddenKeys.empty()) {
+        std::cout << "forbidden outcomes:\n";
+        for (const auto &key : v.forbiddenKeys)
+            std::cout << "  " << key << "\n";
+    }
+    if (v.conditionSatisfiable && v.witness) {
+        std::cout << "witness execution:\n" << v.witness->str();
+    } else if (v.forbiddenWitness) {
+        std::cout << "closest forbidden execution (killed by "
+                  << v.forbiddingCheck << "):\n"
+                  << v.forbiddenWitness->str();
+    }
+    return 0;
+}
+
+int
+cmdShow(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus show <file.litmus>\n";
+        return 1;
+    }
+    auto test = loadTest(args.positional[0]);
+    if (!test)
+        return 1;
+    std::cout << test->str();
+    return 0;
+}
+
+int
+cmdSass(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus sass <file.litmus> [-O N]"
+                     " [--sdk V] [--maxwell]\n";
+        return 1;
+    }
+    auto test = loadTest(args.positional[0]);
+    if (!test)
+        return 1;
+    opt::PtxasOptions opts;
+    opts.optLevel = static_cast<int>(args.getInt("opt-level", 3));
+    opts.sdkVersion = args.get("sdk", "6.0");
+    opts.targetMaxwell = args.has("maxwell");
+    opt::SassProgram sass = opt::assemble(*test, opts);
+    std::cout << sass.disassemble();
+    auto check = opt::optcheck(sass);
+    std::cout << check.str();
+    return check.ok ? 0 : 2;
+}
+
+int
+cmdGenerate(const Args &args)
+{
+    gen::GeneratorOptions opts;
+    opts.maxEdges = static_cast<int>(args.getInt("max-edges", 4));
+    opts.maxTests =
+        static_cast<size_t>(args.getInt("max-tests", 20));
+    auto tests = gen::generate(gen::defaultPool(), opts);
+    for (const auto &g : tests) {
+        std::cout << "(* cycle: " << g.cycleName << " *)\n"
+                  << g.test.str() << "\n";
+    }
+    std::cerr << tests.size() << " tests generated\n";
+    return 0;
+}
+
+int
+cmdChips()
+{
+    for (const auto &c : sim::allChips()) {
+        std::cout << c.shortName << "\t" << c.vendor << " "
+                  << c.chipName << " (" << c.arch << ", " << c.year
+                  << "), SDK " << c.sdk << ", driver " << c.driver
+                  << "\n";
+    }
+    return 0;
+}
+
+int
+cmdModels()
+{
+    for (const auto &[name, m] : cat::models::all()) {
+        std::cout << name << ": checks";
+        for (const auto &c : m->checkNames())
+            std::cout << " " << c;
+        std::cout << "\n";
+    }
+    std::cout << "sorensen-operational: checks";
+    for (const auto &c : model::operationalBaseline().checkNames())
+        std::cout << " " << c;
+    std::cout << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr
+            << "usage: gpulitmus"
+               " <run|check|show|sass|generate|chips|models> ...\n";
+        return 1;
+    }
+    std::string cmd = argv[1];
+    Args args = parseArgs(argc, argv, 2);
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "check")
+        return cmdCheck(args);
+    if (cmd == "show")
+        return cmdShow(args);
+    if (cmd == "sass")
+        return cmdSass(args);
+    if (cmd == "generate")
+        return cmdGenerate(args);
+    if (cmd == "chips")
+        return cmdChips();
+    if (cmd == "models")
+        return cmdModels();
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return 1;
+}
