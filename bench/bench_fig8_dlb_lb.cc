@@ -16,21 +16,6 @@
 
 using namespace gpulitmus;
 
-namespace {
-
-std::string
-amdCell(const sim::ChipProfile &chip, const litmus::Test &test,
-        const harness::RunConfig &cfg)
-{
-    opt::AmdCompileResult compiled = opt::amdCompile(test, chip);
-    if (compiled.miscompiled)
-        return "n/a";
-    return std::to_string(
-        harness::observePer100k(chip, compiled.compiled, cfg));
-}
-
-} // namespace
-
 int
 main()
 {
@@ -46,16 +31,42 @@ main()
     Table table;
     table.header(benchutil::chipHeader("variant", chips));
 
+    // Every (variant x chip) cell that survives compilation is one
+    // campaign job; AMD chips run the test their OpenCL compiler
+    // produces, miscompiled cells render as "n/a".
+    harness::Campaign campaign;
+    campaign.base(cfg);
+    std::vector<std::vector<bool>> runnable(2);
+    for (bool fences : {false, true}) {
+        litmus::Test test = litmus::paperlib::dlbLb(fences);
+        for (const auto &chip : chips) {
+            litmus::Test to_run = test;
+            if (chip.isAmd()) {
+                auto compiled = opt::amdCompile(test, chip);
+                if (compiled.miscompiled) {
+                    runnable[fences].push_back(false);
+                    continue;
+                }
+                to_run = compiled.compiled;
+            }
+            runnable[fences].push_back(true);
+            campaign.add(
+                harness::Job::fromConfig(chip, to_run, cfg));
+        }
+    }
+    auto results = campaign.run(benchutil::engine());
+
+    size_t next = 0;
     for (bool fences : {false, true}) {
         litmus::Test test = litmus::paperlib::dlbLb(fences);
         std::vector<std::string> measured{std::string(test.name) +
                                           " (sim)"};
-        for (const auto &chip : chips) {
-            if (chip.isAmd())
-                measured.push_back(amdCell(chip, test, cfg));
+        for (size_t c = 0; c < chips.size(); ++c) {
+            if (!runnable[fences][c])
+                measured.push_back("n/a");
             else
                 measured.push_back(std::to_string(
-                    harness::observePer100k(chip, test, cfg)));
+                    results[next++].observedPer100k));
         }
         table.row(measured);
         if (!fences) {

@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
 #include "axiom/enumerate.h"
 #include "cat/models.h"
 #include "common/rng.h"
 #include "gen/generator.h"
+#include "harness/campaign.h"
 #include "litmus/library.h"
 #include "model/checker.h"
 #include "sim/machine.h"
@@ -101,6 +104,71 @@ BM_RelationClosure(benchmark::State &state)
 }
 BENCHMARK(BM_RelationClosure);
 
+/** The Tab. 6-shaped sweep (4 tests x 16 columns, 1k iterations)
+ * through the campaign engine at varying worker counts — the scaling
+ * curve of the batch API itself. */
+void
+BM_CampaignTab6Grid(benchmark::State &state)
+{
+    harness::Campaign campaign;
+    campaign.iterations(1000)
+        .overChips(std::vector<std::string>{"Titan"})
+        .overColumns(1, 16)
+        .overTests({litmus::paperlib::coRR(), litmus::paperlib::lb(),
+                    litmus::paperlib::mp(), litmus::paperlib::sb()});
+    for (auto _ : state) {
+        harness::EngineOptions opts;
+        opts.threads = static_cast<int>(state.range(0));
+        opts.cache = false; // measure simulation, not memoisation
+        harness::Engine engine(opts);
+        benchmark::DoNotOptimize(campaign.run(engine));
+    }
+}
+BENCHMARK(BM_CampaignTab6Grid)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/**
+ * Emits BENCH_campaign.json: the Tab. 6 grid on the GTX Titan through
+ * a JsonSink, with per-cell wall-clock and observation counts, so the
+ * perf trajectory of the campaign engine is tracked run over run.
+ */
+void
+emitCampaignJson()
+{
+    harness::Campaign campaign;
+    campaign.iterations(2000)
+        .overChips(std::vector<std::string>{"Titan", "HD7970"})
+        .overColumns(1, 16)
+        .overTests({litmus::paperlib::coRR(), litmus::paperlib::lb(),
+                    litmus::paperlib::mp(), litmus::paperlib::sb()});
+    harness::JsonSink json;
+    harness::Engine engine;
+    campaign.run(engine, {&json});
+    if (json.writeFile("BENCH_campaign.json")) {
+        std::cerr << "wrote BENCH_campaign.json (" << json.size()
+                  << " cells, " << engine.threads() << " workers)\n";
+    } else {
+        std::cerr << "warning: could not write BENCH_campaign.json\n";
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // List-only invocations should stay instant and side-effect-free.
+    bool list_only = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_list_tests", 0) ==
+            0)
+            list_only = true;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!list_only)
+        emitCampaignJson();
+    return 0;
+}

@@ -122,9 +122,27 @@ main()
     harness::RunConfig cfg;
     cfg.iterations = iters;
 
+    // All (test x chip) cells are one campaign batch: the simulation
+    // grid shards across the worker pool (GPULITMUS_JOBS) while the
+    // model checking below stays serial.
+    harness::Campaign campaign;
+    campaign.base(cfg).overChips(chips);
+    for (const auto &entry : tests)
+        campaign.test(entry.test, entry.id);
+    auto progress = [&](size_t done, size_t total,
+                        const harness::JobResult &) {
+        if (done % 500 == 0 || done == total) {
+            std::cerr << "  simulated " << done << "/" << total
+                      << " cells\r";
+        }
+    };
+    auto results = campaign.run(benchutil::engine(), {}, progress);
+    std::cerr << "\n";
+
     uint64_t total_runs = 0;
     uint64_t weak_tests = 0;
-    for (const auto &entry : tests) {
+    for (size_t t = 0; t < tests.size(); ++t) {
+        const auto &entry = tests[t];
         std::vector<model::Verdict> verdicts;
         verdicts.reserve(stats.size());
         for (auto &ms : stats)
@@ -132,9 +150,10 @@ main()
                 model::Checker(*ms.model).check(entry.test));
 
         bool weak_seen = false;
-        for (const auto &chip : chips) {
-            litmus::Histogram hist =
-                harness::run(chip, entry.test, cfg);
+        for (size_t c = 0; c < chips.size(); ++c) {
+            const auto &chip = chips[c];
+            const litmus::Histogram &hist =
+                results[t * chips.size() + c].hist;
             total_runs += hist.total();
             if (hist.observed() > 0)
                 weak_seen = true;

@@ -48,17 +48,26 @@ runChip(const sim::ChipProfile &chip, const std::vector<TestRow> &rows)
     legend("thread sync", 2);
     legend("thread rand", 1);
 
-    for (const auto &row : rows) {
-        std::vector<std::string> measured{row.label + " (sim)"};
-        for (int col = 1; col <= 16; ++col) {
-            harness::RunConfig cfg = benchutil::config();
-            cfg.inc = sim::Incantations::fromColumn(col);
+    // The whole tests x 16-column grid is one campaign, sharded over
+    // the worker pool (GPULITMUS_JOBS). Results come back in grid
+    // order: test outermost, column innermost.
+    harness::Campaign campaign;
+    campaign.base(benchutil::config())
+        .overChips(std::vector<sim::ChipProfile>{chip})
+        .overColumns(1, 16);
+    for (const auto &row : rows)
+        campaign.test(row.test, row.label);
+    auto results = campaign.run(benchutil::engine());
+
+    for (size_t t = 0; t < rows.size(); ++t) {
+        std::vector<std::string> measured{rows[t].label + " (sim)"};
+        for (int col = 1; col <= 16; ++col)
             measured.push_back(std::to_string(
-                harness::observePer100k(chip, row.test, cfg)));
-        }
+                results[t * 16 + static_cast<size_t>(col) - 1]
+                    .observedPer100k));
         table.row(measured);
-        std::vector<std::string> reference{row.label + " (paper)"};
-        for (const auto &p : row.paper)
+        std::vector<std::string> reference{rows[t].label + " (paper)"};
+        for (const auto &p : rows[t].paper)
             reference.push_back(p);
         table.row(reference);
     }

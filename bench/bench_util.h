@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/campaign.h"
 #include "harness/runner.h"
 #include "litmus/test.h"
 #include "sim/chip.h"
@@ -31,6 +32,18 @@ config()
     harness::RunConfig c;
     c.iterations = harness::defaultIterations();
     return c;
+}
+
+/**
+ * The shared campaign engine for this binary: worker count from
+ * GPULITMUS_JOBS (default: hardware concurrency), results cached
+ * across sweeps so a cell queried by two tables is simulated once.
+ */
+inline harness::Engine &
+engine()
+{
+    static harness::Engine e;
+    return e;
 }
 
 /** The five Nvidia chips of the paper's per-test rows. */
@@ -64,7 +77,9 @@ printHeader(const std::string &title, const std::string &what)
               << "=====================================================\n";
 }
 
-/** Append measured and paper rows for one test configuration. */
+/** Append measured and paper rows for one test configuration. The
+ * per-chip cells are one campaign batch, sharded across the engine's
+ * worker pool. */
 inline void
 obsRows(Table &table, const std::string &label,
         const litmus::Test &test,
@@ -72,11 +87,14 @@ obsRows(Table &table, const std::string &label,
         const std::vector<std::string> &paper,
         const harness::RunConfig &cfg)
 {
+    auto results = harness::Campaign()
+                       .base(cfg)
+                       .test(test, label)
+                       .overChips(chips)
+                       .run(engine());
     std::vector<std::string> measured{label + " (sim)"};
-    for (const auto &chip : chips) {
-        measured.push_back(
-            std::to_string(harness::observePer100k(chip, test, cfg)));
-    }
+    for (const auto &r : results)
+        measured.push_back(std::to_string(r.observedPer100k));
     table.row(measured);
     std::vector<std::string> reference{label + " (paper)"};
     for (const auto &p : paper)

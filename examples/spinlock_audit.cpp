@@ -14,7 +14,7 @@
 #include "cat/models.h"
 #include "cuda/apps.h"
 #include "cuda/snippets.h"
-#include "harness/runner.h"
+#include "harness/campaign.h"
 #include "model/checker.h"
 
 using namespace gpulitmus;
@@ -27,6 +27,17 @@ main()
 
     model::Checker checker(cat::models::ptx());
 
+    // Both lock variants on all three chips are one campaign: six
+    // cells sharded across the worker pool (GPULITMUS_JOBS).
+    harness::Campaign campaign;
+    campaign.iterations(harness::defaultIterations())
+        .overChips(std::vector<std::string>{"TesC", "Titan", "HD7970"})
+        .test(cuda::distillCasSpinLock(false))
+        .test(cuda::distillCasSpinLock(true));
+    harness::Engine engine;
+    auto results = campaign.run(engine);
+
+    size_t next = 0;
     for (bool fences : {false, true}) {
         litmus::Test test = cuda::distillCasSpinLock(fences);
         std::cout << "=== distilled: " << test.name << " ===\n";
@@ -35,12 +46,9 @@ main()
                   << (checker.allows(test) ? "ALLOWED" : "FORBIDDEN")
                   << "\n";
 
-        harness::RunConfig config;
-        config.iterations = harness::defaultIterations();
         for (const char *chip : {"TesC", "Titan", "HD7970"}) {
-            uint64_t obs = harness::observePer100k(sim::chip(chip),
-                                                   test, config);
-            std::cout << "  " << chip << ": " << obs
+            const harness::JobResult &r = results[next++];
+            std::cout << "  " << chip << ": " << r.observedPer100k
                       << "/100k lock acquisitions read stale data\n";
         }
         std::cout << "\n";

@@ -12,7 +12,7 @@
 #include "cat/models.h"
 #include "cuda/apps.h"
 #include "cuda/snippets.h"
-#include "harness/runner.h"
+#include "harness/campaign.h"
 #include "model/checker.h"
 #include "opt/amd.h"
 
@@ -25,8 +25,6 @@ main()
               << cuda::dequeSource(false) << "\n";
 
     model::Checker checker(cat::models::ptx());
-    harness::RunConfig config;
-    config.iterations = harness::defaultIterations();
 
     struct Case
     {
@@ -42,16 +40,27 @@ main()
         {"dlb-lb with the (+) fences", cuda::distillDequeLb(true)},
     };
 
+    // All (case x chip) cells as one batched campaign; results come
+    // back in grid order (case outermost, chip innermost).
+    std::vector<const char *> chips = {"TesC", "GTX6", "Titan"};
+    harness::Campaign campaign;
+    campaign.iterations(harness::defaultIterations())
+        .overChips(std::vector<std::string>(chips.begin(),
+                                            chips.end()));
+    for (const auto &c : cases)
+        campaign.test(c.test);
+    harness::Engine engine;
+    auto results = campaign.run(engine);
+
+    size_t next = 0;
     for (const auto &c : cases) {
         std::cout << "=== " << c.what << " ===\n";
         std::cout << "PTX model: "
                   << (checker.allows(c.test) ? "ALLOWED" : "FORBIDDEN")
                   << "\n";
-        for (const char *chip : {"TesC", "GTX6", "Titan"}) {
+        for (const char *chip : chips) {
             std::cout << "  " << chip << ": "
-                      << harness::observePer100k(sim::chip(chip),
-                                                 c.test, config)
-                      << "/100k\n";
+                      << results[next++].observedPer100k << "/100k\n";
         }
         std::cout << "\n";
     }

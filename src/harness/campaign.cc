@@ -1,0 +1,550 @@
+#include "harness/campaign.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <string_view>
+#include <thread>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "common/table.h"
+
+namespace gpulitmus::harness {
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+int
+defaultJobs()
+{
+    const char *env = std::getenv("GPULITMUS_JOBS");
+    if (env) {
+        auto v = parseInt(env);
+        if (v && *v > 0)
+            return static_cast<int>(*v);
+        warn("ignoring invalid GPULITMUS_JOBS='%s'", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+uint64_t
+fnv1a(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Job
+Job::fromConfig(const sim::ChipProfile &chip, const litmus::Test &test,
+                const RunConfig &config)
+{
+    Job job;
+    job.chip = chip;
+    job.test = test;
+    job.inc = config.inc;
+    job.iterations = config.iterations;
+    job.seed = config.seed;
+    job.maxMicroSteps = config.maxMicroSteps;
+    return job;
+}
+
+uint64_t
+Job::key() const
+{
+    uint64_t h = splitmix64(seed);
+    h = splitmix64(h ^ fnv1a(chip.shortName));
+    h = splitmix64(h ^ fnv1a(test.str()));
+    h = splitmix64(h ^ static_cast<uint64_t>(inc.column()));
+    return h;
+}
+
+uint64_t
+Job::derivedSeed() const
+{
+    // Distinct stream from key() so cache identities and RNG states
+    // never coincide.
+    return splitmix64(key() ^ 0x67707573696dULL); // "gpusim"
+}
+
+uint64_t
+Job::cacheKey() const
+{
+    uint64_t h = splitmix64(key() ^ iterations);
+    return splitmix64(h ^ static_cast<uint64_t>(maxMicroSteps));
+}
+
+std::string
+Job::displayLabel() const
+{
+    if (!label.empty())
+        return label;
+    return test.name + "@" + chip.shortName;
+}
+
+JobResult
+runJob(Job job)
+{
+    auto owned = std::make_shared<Job>(std::move(job));
+
+    JobResult result{owned, litmus::Histogram(owned->test)};
+
+    sim::MachineOptions opts;
+    opts.inc = owned->inc;
+    opts.maxMicroSteps = owned->maxMicroSteps;
+    sim::Machine machine(owned->chip, owned->test, opts);
+    Rng rng(owned->derivedSeed());
+
+    auto start = std::chrono::steady_clock::now();
+    for (uint64_t i = 0; i < owned->iterations; ++i)
+        result.hist.record(machine.run(rng));
+    auto end = std::chrono::steady_clock::now();
+    result.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+
+    if (result.hist.total() > 0) {
+        result.observedPer100k =
+            result.hist.observed() * 100000 / result.hist.total();
+    }
+    return result;
+}
+
+// ---- TableSink ------------------------------------------------------
+
+TableSink::TableSink(std::string corner, KeyFn row_of, KeyFn col_of)
+    : corner_(std::move(corner)), rowOf_(std::move(row_of)),
+      colOf_(std::move(col_of))
+{
+}
+
+void
+TableSink::add(const JobResult &result)
+{
+    std::string row = rowOf_(result);
+    std::string col = colOf_(result);
+    if (cells_.find(row) == cells_.end())
+        rowOrder_.push_back(row);
+    bool col_seen = false;
+    for (const auto &c : colOrder_)
+        col_seen = col_seen || c == col;
+    if (!col_seen)
+        colOrder_.push_back(col);
+    cells_[row][col] = std::to_string(result.observedPer100k);
+}
+
+Table
+TableSink::render() const
+{
+    Table table;
+    std::vector<std::string> header{corner_};
+    for (const auto &c : colOrder_)
+        header.push_back(c);
+    table.header(header);
+    for (const auto &r : rowOrder_) {
+        std::vector<std::string> cells{r};
+        const auto &row = cells_.at(r);
+        for (const auto &c : colOrder_) {
+            auto it = row.find(c);
+            cells.push_back(it == row.end() ? "-" : it->second);
+        }
+        table.row(cells);
+    }
+    return table;
+}
+
+TableSink::KeyFn
+TableSink::byChip()
+{
+    return [](const JobResult &r) { return r.chip().shortName; };
+}
+
+TableSink::KeyFn
+TableSink::byColumn()
+{
+    return [](const JobResult &r) { return std::to_string(r.column()); };
+}
+
+TableSink::KeyFn
+TableSink::byLabel()
+{
+    return [](const JobResult &r) { return r.label(); };
+}
+
+// ---- JsonSink -------------------------------------------------------
+
+namespace {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+JsonSink::add(const JobResult &result)
+{
+    const Job &job = *result.job;
+    std::string e = "{";
+    e += "\"label\":\"" + jsonEscape(result.label()) + "\",";
+    e += "\"test\":\"" + jsonEscape(job.test.name) + "\",";
+    e += "\"chip\":\"" + jsonEscape(job.chip.shortName) + "\",";
+    e += "\"vendor\":\"" + jsonEscape(job.chip.vendor) + "\",";
+    e += "\"column\":" + std::to_string(job.inc.column()) + ",";
+    e += "\"incantations\":\"" + jsonEscape(job.inc.str()) + "\",";
+    e += "\"iterations\":" + std::to_string(job.iterations) + ",";
+    e += "\"seed\":" + std::to_string(job.seed) + ",";
+    e += "\"observed\":" + std::to_string(result.hist.observed()) + ",";
+    e += "\"total\":" + std::to_string(result.hist.total()) + ",";
+    e += "\"obs_per_100k\":" + std::to_string(result.observedPer100k) +
+         ",";
+    e += "\"verdict\":\"" + jsonEscape(result.hist.verdict()) + "\",";
+    e += "\"cached\":" + std::string(result.fromCache ? "true"
+                                                      : "false") +
+         ",";
+    e += "\"millis\":" + std::to_string(result.millis) + ",";
+    e += "\"counts\":{";
+    bool first = true;
+    for (const auto &[key, count] : result.hist.counts()) {
+        if (!first)
+            e += ",";
+        e += "\"" + jsonEscape(key) + "\":" + std::to_string(count);
+        first = false;
+    }
+    e += "}}";
+    entries_.push_back(std::move(e));
+}
+
+void
+JsonSink::writeTo(std::ostream &os) const
+{
+    os << "[\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        os << "  " << entries_[i];
+        if (i + 1 < entries_.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "]\n";
+}
+
+bool
+JsonSink::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeTo(out);
+    return out.good();
+}
+
+// ---- Engine ---------------------------------------------------------
+
+Engine::Engine(EngineOptions opts)
+    : threads_(opts.threads > 0 ? opts.threads : defaultJobs()),
+      cacheEnabled_(opts.cache)
+{
+}
+
+std::vector<JobResult>
+Engine::run(const std::vector<Job> &jobs,
+            const std::vector<ResultSink *> &sinks, ProgressFn progress)
+{
+    const size_t n = jobs.size();
+    std::vector<std::shared_ptr<const JobResult>> slots(n);
+
+    // A cache or alias hit keeps the computed histogram but must
+    // carry the *submitted* job's identity (label, etc.), which the
+    // cache key deliberately ignores. Copy the result, then repoint
+    // it (and its histogram's internal Test reference) at a copy of
+    // the submitted job so the result is correctly labelled and
+    // self-contained.
+    auto servedFrom = [](const JobResult &src, const Job &requested) {
+        auto hit = std::make_shared<JobResult>(src);
+        auto owned = std::make_shared<Job>(requested);
+        hit->hist.rebind(owned->test);
+        hit->job = std::move(owned);
+        hit->fromCache = true;
+        hit->millis = 0.0;
+        return hit;
+    };
+
+    // Partition into compute jobs and cache/alias hits. An alias is a
+    // job whose cache key is owned by an earlier job in this batch;
+    // it reuses that job's histogram instead of recomputing it.
+    std::vector<size_t> compute;
+    std::vector<std::pair<size_t, size_t>> aliases; // (index, owner)
+    uint64_t batch_hits = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::unordered_map<uint64_t, size_t> owner;
+        compute.reserve(n);
+        for (size_t i = 0; i < n; ++i) {
+            if (!cacheEnabled_) {
+                compute.push_back(i);
+                continue;
+            }
+            uint64_t key = jobs[i].cacheKey();
+            auto cached = cache_.find(key);
+            if (cached != cache_.end()) {
+                slots[i] = servedFrom(*cached->second, jobs[i]);
+                ++batch_hits;
+                continue;
+            }
+            auto claimed = owner.find(key);
+            if (claimed != owner.end()) {
+                aliases.push_back({i, claimed->second});
+                ++batch_hits;
+            } else {
+                owner[key] = i;
+                compute.push_back(i);
+            }
+        }
+        cacheHits_ += batch_hits;
+    }
+
+    // Shard the compute jobs over the pool. Each job's RNG stream is
+    // a pure function of the job, so any sharding yields bit-identical
+    // results.
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex progress_mutex;
+    auto worker = [&]() {
+        for (;;) {
+            size_t c = next.fetch_add(1);
+            if (c >= compute.size())
+                return;
+            size_t idx = compute[c];
+            auto result =
+                std::make_shared<JobResult>(runJob(jobs[idx]));
+            slots[idx] = result;
+            size_t finished = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progress_mutex);
+                progress(finished, compute.size(), *result);
+            }
+        }
+    };
+
+    int pool = static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(threads_), compute.size()));
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<size_t>(pool));
+        for (int t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (auto &t : threads)
+            t.join();
+    }
+
+    // Resolve in-batch aliases now that their owners have run.
+    for (auto [idx, owner_idx] : aliases)
+        slots[idx] = servedFrom(*slots[owner_idx], jobs[idx]);
+
+    // Install computed results into the cache.
+    if (cacheEnabled_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t idx : compute)
+            cache_.emplace(jobs[idx].cacheKey(), slots[idx]);
+    }
+
+    // Deliver to sinks in job order: deterministic at any thread count.
+    std::vector<JobResult> results;
+    results.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        for (ResultSink *sink : sinks) {
+            if (sink)
+                sink->add(*slots[i]);
+        }
+        results.push_back(*slots[i]);
+    }
+    return results;
+}
+
+size_t
+Engine::cacheSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void
+Engine::clearCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+// ---- Campaign -------------------------------------------------------
+
+Campaign &
+Campaign::iterations(uint64_t n)
+{
+    iterations_ = n;
+    return *this;
+}
+
+Campaign &
+Campaign::seed(uint64_t s)
+{
+    seed_ = s;
+    return *this;
+}
+
+Campaign &
+Campaign::maxMicroSteps(int n)
+{
+    maxMicroSteps_ = n;
+    return *this;
+}
+
+Campaign &
+Campaign::base(const RunConfig &config)
+{
+    iterations_ = config.iterations;
+    seed_ = config.seed;
+    maxMicroSteps_ = config.maxMicroSteps;
+    baseInc_ = config.inc;
+    incSet_ = true;
+    return *this;
+}
+
+Campaign &
+Campaign::overChips(const std::vector<sim::ChipProfile> &chips)
+{
+    chips_.insert(chips_.end(), chips.begin(), chips.end());
+    return *this;
+}
+
+Campaign &
+Campaign::overChips(const std::vector<std::string> &short_names)
+{
+    for (const auto &name : short_names)
+        chips_.push_back(sim::chip(name));
+    return *this;
+}
+
+Campaign &
+Campaign::overColumns(int lo, int hi)
+{
+    for (int col = lo; col <= hi; ++col)
+        incs_.push_back(sim::Incantations::fromColumn(col));
+    return *this;
+}
+
+Campaign &
+Campaign::overIncantations(const std::vector<sim::Incantations> &incs)
+{
+    incs_.insert(incs_.end(), incs.begin(), incs.end());
+    return *this;
+}
+
+Campaign &
+Campaign::overTests(const std::vector<litmus::Test> &tests)
+{
+    for (const auto &t : tests)
+        tests_.push_back({t, ""});
+    return *this;
+}
+
+Campaign &
+Campaign::test(const litmus::Test &t, const std::string &label)
+{
+    tests_.push_back({t, label});
+    return *this;
+}
+
+Campaign &
+Campaign::add(Job job)
+{
+    extra_.push_back(std::move(job));
+    return *this;
+}
+
+std::vector<Job>
+Campaign::jobs() const
+{
+    std::vector<sim::ChipProfile> chips = chips_;
+    if (chips.empty())
+        chips.push_back(sim::chip("Titan"));
+    std::vector<sim::Incantations> incs = incs_;
+    if (incs.empty())
+        incs.push_back(incSet_ ? baseInc_ : sim::Incantations::all());
+
+    std::vector<Job> out;
+    out.reserve(tests_.size() * chips.size() * incs.size() +
+                extra_.size());
+    for (const auto &lt : tests_) {
+        for (const auto &chip : chips) {
+            for (const auto &inc : incs) {
+                Job job;
+                job.chip = chip;
+                job.test = lt.test;
+                job.inc = inc;
+                job.iterations = iterations_;
+                job.seed = seed_;
+                job.maxMicroSteps = maxMicroSteps_;
+                job.label = lt.label;
+                out.push_back(std::move(job));
+            }
+        }
+    }
+    out.insert(out.end(), extra_.begin(), extra_.end());
+    return out;
+}
+
+std::vector<JobResult>
+Campaign::run(Engine &engine, const std::vector<ResultSink *> &sinks,
+              ProgressFn progress) const
+{
+    return engine.run(jobs(), sinks, std::move(progress));
+}
+
+std::vector<JobResult>
+Campaign::run(const std::vector<ResultSink *> &sinks,
+              ProgressFn progress) const
+{
+    Engine engine;
+    return engine.run(jobs(), sinks, std::move(progress));
+}
+
+} // namespace gpulitmus::harness

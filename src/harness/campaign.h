@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The batched campaign engine: the paper's methodology as a first-class
+ * API.
+ *
+ * Every figure and table of the paper is a *sweep* — the same litmus
+ * test re-run across a (chip × incantation-column × iterations) grid.
+ * A Campaign describes such a grid declaratively; an Engine executes
+ * its jobs on a worker pool and feeds the results, in job order, to
+ * pluggable sinks.
+ *
+ * Determinism is the design center: each Job derives its RNG seed
+ * purely from its own key (a splitmix64-mixed hash of base seed, chip,
+ * test text and incantation column), never from scheduling, so the
+ * histograms are bit-identical at any thread count — and identical to
+ * what the single-shot `harness::run` wrapper produces for the same
+ * cell.
+ *
+ * The Engine memoises results in an in-process cache keyed by job
+ * hash, so a sweep that revisits a cell (as the Tab. 2 summary does)
+ * computes it once.
+ */
+
+#ifndef GPULITMUS_HARNESS_CAMPAIGN_H
+#define GPULITMUS_HARNESS_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/runner.h"
+#include "litmus/outcome.h"
+#include "sim/chip.h"
+#include "sim/machine.h"
+
+namespace gpulitmus::harness {
+
+/** splitmix64 finaliser (Steele, Lea & Flood): a full-avalanche 64-bit
+ * mix used to derive per-job seeds and hash job keys. */
+uint64_t splitmix64(uint64_t x);
+
+/**
+ * Worker count from the GPULITMUS_JOBS environment variable, or the
+ * hardware concurrency when unset. Benchmarks and the CLI use this so
+ * CI can dial parallelism up or down.
+ */
+int defaultJobs();
+
+/**
+ * One cell of a sweep: run `test` on `chip` under `inc` for
+ * `iterations` runs. Self-contained (owns copies of the chip profile
+ * and the test) so jobs can outlive whatever built them and run on any
+ * worker thread.
+ */
+struct Job
+{
+    sim::ChipProfile chip;
+    litmus::Test test;
+    sim::Incantations inc = sim::Incantations::all();
+    uint64_t iterations = 100000;
+    /** Base seed; the RNG stream is derived from key(), not used raw. */
+    uint64_t seed = 0x6c69746d7573ULL; // "litmus"
+    int maxMicroSteps = 4000;
+    /** Display label for sinks; defaults to "<test>@<chip>" when empty. */
+    std::string label;
+
+    static Job fromConfig(const sim::ChipProfile &chip,
+                          const litmus::Test &test,
+                          const RunConfig &config);
+
+    /**
+     * Identity of the RNG stream: splitmix64-mixed hash of base seed,
+     * chip short name, test text and incantation column. Deliberately
+     * excludes the iteration count so a longer run of the same cell
+     * extends the shorter run's stream instead of resampling it.
+     */
+    uint64_t key() const;
+
+    /** Seed actually fed to the xoshiro generator. */
+    uint64_t derivedSeed() const;
+
+    /** Cache identity: key() plus iterations and machine limits. */
+    uint64_t cacheKey() const;
+
+    /** label, or "<test>@<chip>" when unset. */
+    std::string displayLabel() const;
+};
+
+/** Result of one job: the full histogram plus provenance. */
+struct JobResult
+{
+    /** The job as submitted (shared so histograms, which reference
+     * their test, stay valid however results are copied around). */
+    std::shared_ptr<const Job> job;
+    litmus::Histogram hist;
+    /** Observations normalised to per-100k, as the paper reports. */
+    uint64_t observedPer100k = 0;
+    /** True when the engine served this cell from its cache. */
+    bool fromCache = false;
+    /** Wall-clock of the simulation (0 for cache hits). */
+    double millis = 0.0;
+
+    const sim::ChipProfile &chip() const { return job->chip; }
+    std::string label() const { return job->displayLabel(); }
+    int column() const { return job->inc.column(); }
+};
+
+/** Execute one job synchronously on the calling thread. This is the
+ * single source of truth for how a cell is simulated; `harness::run`
+ * and the Engine's workers both call it. */
+JobResult runJob(Job job);
+
+/**
+ * Streaming sink interface. The Engine delivers results *in job
+ * order* after the pool drains, so sink output is deterministic at any
+ * thread count.
+ */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+    virtual void add(const JobResult &result) = 0;
+};
+
+/**
+ * Renders sweep results as a fixed-width table (common/table). Rows
+ * and columns are chosen by caller-supplied key functions; cells are
+ * obs/100k. First-seen order is preserved for both axes.
+ */
+class TableSink : public ResultSink
+{
+  public:
+    using KeyFn = std::function<std::string(const JobResult &)>;
+
+    TableSink(std::string corner, KeyFn row_of, KeyFn col_of);
+
+    void add(const JobResult &result) override;
+
+    /** Assemble the table from everything added so far. */
+    Table render() const;
+
+    // Common axis key functions.
+    static KeyFn byChip();   ///< chip short name
+    static KeyFn byColumn(); ///< Tab. 6 incantation column
+    static KeyFn byLabel();  ///< job display label
+
+  private:
+    std::string corner_;
+    KeyFn rowOf_, colOf_;
+    std::vector<std::string> rowOrder_, colOrder_;
+    std::map<std::string, std::map<std::string, std::string>> cells_;
+};
+
+/**
+ * Writes results as a JSON array, one object per job, for machine
+ * consumption (bench trajectory tracking, dashboards). Accumulates on
+ * add(); writeTo()/writeFile() emit the document.
+ */
+class JsonSink : public ResultSink
+{
+  public:
+    void add(const JobResult &result) override;
+
+    void writeTo(std::ostream &os) const;
+    bool writeFile(const std::string &path) const;
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<std::string> entries_; ///< pre-rendered JSON objects
+};
+
+/** Progress callback: (computed jobs finished so far, total jobs to
+ * compute, the result that just finished). Cells served from the
+ * cache are not reported — the callback tracks simulation work, not
+ * deliveries. Invoked from worker threads as jobs complete;
+ * completion order is nondeterministic, use sinks for ordered
+ * output. */
+using ProgressFn =
+    std::function<void(size_t done, size_t total, const JobResult &)>;
+
+struct EngineOptions
+{
+    /** Worker threads; 0 means defaultJobs() (GPULITMUS_JOBS). */
+    int threads = 0;
+    /** Serve repeated cells from the in-process cache. */
+    bool cache = true;
+};
+
+/**
+ * Shards a batch of jobs across a worker pool. Results come back in
+ * job order regardless of scheduling; repeated cells within and across
+ * run() calls are computed once (per Engine) when caching is on.
+ */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions opts = {});
+
+    /** Execute all jobs; blocks until done. Results are delivered to
+     * the sinks in job order, then returned. */
+    std::vector<JobResult> run(const std::vector<Job> &jobs,
+                               const std::vector<ResultSink *> &sinks = {},
+                               ProgressFn progress = nullptr);
+
+    int threads() const { return threads_; }
+    /** Cells served from cache over this Engine's lifetime. */
+    uint64_t cacheHits() const { return cacheHits_; }
+    size_t cacheSize() const;
+    void clearCache();
+
+  private:
+    int threads_ = 1;
+    bool cacheEnabled_ = true;
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<const JobResult>> cache_;
+    uint64_t cacheHits_ = 0;
+};
+
+/**
+ * Declarative sweep builder. The job list is the cross product
+ * tests × chips × incantations (each axis defaulting to a singleton:
+ * the Titan, Incantations::all()), plus any explicitly add()ed jobs,
+ * in row-major order (test outermost, incantation innermost).
+ */
+class Campaign
+{
+  public:
+    Campaign() = default;
+
+    // ---- base parameters (apply to every grid job) -----------------
+    Campaign &iterations(uint64_t n);
+    Campaign &seed(uint64_t s);
+    Campaign &maxMicroSteps(int n);
+    /** Adopt iterations/seed/incantation/limits from a RunConfig. */
+    Campaign &base(const RunConfig &config);
+
+    // ---- grid axes --------------------------------------------------
+    Campaign &overChips(const std::vector<sim::ChipProfile> &chips);
+    /** Chips by registry short name ("Titan", "HD7970", ...). */
+    Campaign &overChips(const std::vector<std::string> &short_names);
+    /** Tab. 6 incantation columns lo..hi inclusive (1..16). */
+    Campaign &overColumns(int lo, int hi);
+    Campaign &overIncantations(const std::vector<sim::Incantations> &incs);
+    Campaign &overTests(const std::vector<litmus::Test> &tests);
+    /** Add one test to the test axis, with an explicit label. */
+    Campaign &test(const litmus::Test &t, const std::string &label = "");
+
+    /** Append a fully-specified job outside the grid. */
+    Campaign &add(Job job);
+
+    /** Materialise the job list. */
+    std::vector<Job> jobs() const;
+
+    /** Build the jobs and run them on an engine. */
+    std::vector<JobResult> run(Engine &engine,
+                               const std::vector<ResultSink *> &sinks = {},
+                               ProgressFn progress = nullptr) const;
+    /** Convenience: run on a throwaway default engine. */
+    std::vector<JobResult> run(const std::vector<ResultSink *> &sinks = {},
+                               ProgressFn progress = nullptr) const;
+
+  private:
+    struct LabelledTest
+    {
+        litmus::Test test;
+        std::string label;
+    };
+
+    uint64_t iterations_ = 100000;
+    uint64_t seed_ = 0x6c69746d7573ULL;
+    int maxMicroSteps_ = 4000;
+    bool incSet_ = false;
+    sim::Incantations baseInc_ = sim::Incantations::all();
+    std::vector<sim::ChipProfile> chips_;
+    std::vector<sim::Incantations> incs_;
+    std::vector<LabelledTest> tests_;
+    std::vector<Job> extra_;
+};
+
+} // namespace gpulitmus::harness
+
+#endif // GPULITMUS_HARNESS_CAMPAIGN_H

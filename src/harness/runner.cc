@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "harness/campaign.h"
 
 namespace gpulitmus::harness {
 
@@ -25,23 +26,13 @@ litmus::Histogram
 run(const sim::ChipProfile &chip, const litmus::Test &test,
     const RunConfig &config)
 {
-    litmus::Histogram hist(test);
-
-    sim::MachineOptions opts;
-    opts.inc = config.inc;
-    opts.maxMicroSteps = config.maxMicroSteps;
-    sim::Machine machine(chip, test, opts);
-
-    // Seed folds in the chip and incantations so parallel sweeps do
-    // not reuse streams.
-    uint64_t seed = config.seed;
-    for (char c : chip.shortName)
-        seed = seed * 131 + static_cast<uint64_t>(c);
-    seed = seed * 131 + static_cast<uint64_t>(config.inc.column());
-    Rng rng(seed);
-
-    for (uint64_t i = 0; i < config.iterations; ++i)
-        hist.record(machine.run(rng));
+    // One-job campaign. The RNG stream is derived from the job key
+    // (splitmix64 over base seed, chip, test and incantation column),
+    // so this cell is bit-identical to the same cell in any batched
+    // sweep, at any thread count.
+    JobResult result = runJob(Job::fromConfig(chip, test, config));
+    litmus::Histogram hist = std::move(result.hist);
+    hist.rebind(test);
     return hist;
 }
 
@@ -49,10 +40,7 @@ uint64_t
 observePer100k(const sim::ChipProfile &chip, const litmus::Test &test,
                const RunConfig &config)
 {
-    litmus::Histogram hist = run(chip, test, config);
-    if (hist.total() == 0)
-        return 0;
-    return hist.observed() * 100000 / hist.total();
+    return runJob(Job::fromConfig(chip, test, config)).observedPer100k;
 }
 
 } // namespace gpulitmus::harness

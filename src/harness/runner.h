@@ -1,9 +1,17 @@
 /**
  * @file
- * The test harness (Sec. 4.2/4.3): runs a litmus test many times on a
- * simulated chip under a chosen combination of incantations and
- * collects the outcome histogram, exactly as the paper's tool does on
- * real hardware.
+ * The single-shot harness interface (Sec. 4.2/4.3): run one litmus
+ * test many times on one simulated chip under one incantation
+ * combination and collect the outcome histogram, exactly as the
+ * paper's tool does on real hardware.
+ *
+ * Since the campaign redesign these free functions are thin wrappers
+ * over a one-job campaign: `run` builds a `harness::Job` from its
+ * arguments and executes it via `harness::runJob` (see campaign.h),
+ * so a cell computed here is bit-identical — same splitmix64-derived
+ * RNG stream — to the same cell inside a batched, multi-threaded
+ * `Campaign` sweep. Use a Campaign directly for anything that touches
+ * more than a couple of cells; use these wrappers for one-off runs.
  */
 
 #ifndef GPULITMUS_HARNESS_RUNNER_H
@@ -21,7 +29,8 @@ struct RunConfig
 {
     /** Number of iterations; the paper uses 100k. */
     uint64_t iterations = 100000;
-    /** RNG seed; every run is reproducible. */
+    /** Base RNG seed; every run is reproducible. The per-cell stream
+     * is derived from this plus the chip/test/incantation key. */
     uint64_t seed = 0x6c69746d7573ULL; // "litmus"
     /** Incantation combination (Sec. 4.3). */
     sim::Incantations inc = sim::Incantations::all();
@@ -36,7 +45,8 @@ struct RunConfig
  */
 uint64_t defaultIterations();
 
-/** Run a test on a chip; returns the full histogram. */
+/** Run a test on a chip; returns the full histogram. Wrapper over a
+ * one-job campaign (campaign.h). */
 litmus::Histogram run(const sim::ChipProfile &chip,
                       const litmus::Test &test,
                       const RunConfig &config = {});

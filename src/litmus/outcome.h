@@ -53,6 +53,14 @@ class Histogram
     /** Render an outcome key for a state (observed regs/locs only). */
     std::string keyFor(const FinalState &state) const;
 
+    /**
+     * Re-point at a content-identical Test instance. Campaign results
+     * are self-contained (they own the test the histogram references);
+     * the single-shot harness wrapper rebinds the returned histogram
+     * to the caller's instance so it stays valid on its own.
+     */
+    void rebind(const Test &test) { test_ = &test; }
+
   private:
     const Test *test_;
     std::vector<RegKey> regs_;

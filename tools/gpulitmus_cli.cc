@@ -5,6 +5,10 @@
  *
  *   gpulitmus run <file.litmus> [--chip NAME] [--iterations N]
  *            [--column 1..16]            run a test on a simulated chip
+ *   gpulitmus sweep <file.litmus> [--chips A,B] [--columns 1-16]
+ *            [--jobs N] [--iterations N] [--json FILE]
+ *                                        batched campaign over a
+ *                                        (chip x column) grid
  *   gpulitmus check <file.litmus> [--model NAME]
  *                                        herd-style model evaluation
  *   gpulitmus show <file.litmus>         parse and pretty-print
@@ -28,6 +32,7 @@
 #include "cat/models.h"
 #include "common/strutil.h"
 #include "gen/generator.h"
+#include "harness/campaign.h"
 #include "harness/runner.h"
 #include "litmus/parser.h"
 #include "model/baseline.h"
@@ -179,6 +184,129 @@ cmdRun(const Args &args)
     return 0;
 }
 
+/** Parse a --columns spec: "1-16", "9", or "1,5,9". */
+std::vector<int>
+parseColumns(const std::string &spec)
+{
+    std::vector<int> out;
+    for (const auto &part : split(spec, ',')) {
+        auto dash = part.find('-');
+        if (dash != std::string::npos) {
+            auto lo = parseInt(part.substr(0, dash));
+            auto hi = parseInt(part.substr(dash + 1));
+            // Bounds-check before expanding so a typo'd range cannot
+            // balloon the list.
+            if (!lo || !hi || *lo > *hi || *lo < 1 || *hi > 16)
+                return {};
+            for (int64_t c = *lo; c <= *hi; ++c)
+                out.push_back(static_cast<int>(c));
+        } else {
+            auto c = parseInt(part);
+            if (!c || *c < 1 || *c > 16)
+                return {};
+            out.push_back(static_cast<int>(*c));
+        }
+    }
+    return out;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus sweep <file.litmus> [--chips"
+                     " A,B] [--columns 1-16] [--jobs N]"
+                     " [--iterations N] [--seed S] [--json FILE]\n";
+        return 1;
+    }
+    auto test = loadTest(args.positional[0]);
+    if (!test)
+        return 1;
+
+    std::vector<int> columns =
+        parseColumns(args.get("columns", "1-16"));
+    if (columns.empty()) {
+        std::cerr << "error: invalid --columns '"
+                  << args.get("columns", "1-16")
+                  << "' (want e.g. 1-16, 9 or 1,5,9)\n";
+        return 1;
+    }
+
+    harness::RunConfig cfg;
+    cfg.iterations = static_cast<uint64_t>(args.getInt(
+        "iterations",
+        static_cast<int64_t>(harness::defaultIterations())));
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 0x6c69));
+
+    // Per-chip test compilation (AMD chips run what their OpenCL
+    // compiler produces); miscompiled chips drop out of the grid.
+    harness::Campaign campaign;
+    campaign.base(cfg);
+    std::vector<std::string> skipped;
+    for (const auto &name : split(args.get("chips", "Titan"), ',')) {
+        const sim::ChipProfile &chip = sim::chip(trim(name));
+        litmus::Test to_run = *test;
+        if (chip.isAmd()) {
+            auto compiled = opt::amdCompile(to_run, chip);
+            for (const auto &q : compiled.quirks)
+                std::cerr << "compile note (" << chip.shortName
+                          << "): " << q << "\n";
+            if (compiled.miscompiled) {
+                skipped.push_back(chip.shortName);
+                continue;
+            }
+            to_run = compiled.compiled;
+        }
+        for (int col : columns) {
+            harness::Job job =
+                harness::Job::fromConfig(chip, to_run, cfg);
+            job.inc = sim::Incantations::fromColumn(col);
+            campaign.add(std::move(job));
+        }
+    }
+
+    harness::EngineOptions eopts;
+    eopts.threads = static_cast<int>(args.getInt("jobs", 0));
+    harness::Engine engine(eopts);
+
+    harness::TableSink table("chip", harness::TableSink::byChip(),
+                             harness::TableSink::byColumn());
+    harness::JsonSink json;
+    std::vector<harness::ResultSink *> sinks{&table};
+    if (args.has("json"))
+        sinks.push_back(&json);
+
+    std::cout << "sweep: " << test->name << ", " << cfg.iterations
+              << " iterations/cell, " << engine.threads()
+              << " worker threads\n\n";
+    auto results = campaign.run(engine, sinks);
+    table.render().print(std::cout);
+    for (const auto &name : skipped)
+        std::cout << name << ": miscompiled (n/a)\n";
+
+    if (args.has("json")) {
+        std::string path = args.get("json", "sweep.json");
+        if (path == "true") // bare --json
+            path = "sweep.json";
+        if (!json.writeFile(path)) {
+            std::cerr << "error: cannot write '" << path << "'\n";
+            return 1;
+        }
+        std::cout << "\nwrote " << path << " (" << json.size()
+                  << " cells)\n";
+    }
+
+    // Exit 2 when a ~exists condition was observed anywhere in the
+    // grid, mirroring `run`.
+    if (test->quantifier == litmus::Quantifier::NotExists) {
+        for (const auto &r : results) {
+            if (r.hist.observed() > 0)
+                return 2;
+        }
+    }
+    return 0;
+}
+
 int
 cmdCheck(const Args &args)
 {
@@ -304,13 +432,16 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr
             << "usage: gpulitmus"
-               " <run|check|show|sass|generate|chips|models> ...\n";
+               " <run|sweep|check|show|sass|generate|chips|models>"
+               " ...\n";
         return 1;
     }
     std::string cmd = argv[1];
     Args args = parseArgs(argc, argv, 2);
     if (cmd == "run")
         return cmdRun(args);
+    if (cmd == "sweep")
+        return cmdSweep(args);
     if (cmd == "check")
         return cmdCheck(args);
     if (cmd == "show")
