@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Times each eval backend on the Tab. 6 grid (the four classic idioms
+ * x the 16 incantation columns on the GTX Titan) and emits
+ * BENCH_backends.json — the starting point of the multi-backend
+ * performance trajectory.
+ *
+ * The sim backend computes all 64 cells; the model backends collapse
+ * the grid onto one evaluation per test (their cache identity ignores
+ * the chip/incantation axes), so the "computed" column shows the
+ * dedup working and the wall-clock shows what one sweep actually
+ * costs per engine. GPULITMUS_BENCH_ITERS scales the sim side
+ * (default 2000 to keep this binary in CI time).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/strutil.h"
+#include "common/table.h"
+#include "eval/backend.h"
+#include "litmus/library.h"
+#include "model/checker.h"
+
+using namespace gpulitmus;
+
+namespace {
+
+uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    auto parsed = parseInt(v);
+    return parsed && *parsed > 0 ? static_cast<uint64_t>(*parsed)
+                                 : fallback;
+}
+
+} // namespace
+
+int
+main()
+{
+    uint64_t iters = envOr("GPULITMUS_BENCH_ITERS", 2000);
+
+    const std::vector<std::string> backends =
+        eval::builtinBackendNames();
+
+    std::cout << "backend timing on the Tab. 6 grid (coRR/lb/mp/sb x"
+                 " 16 columns x Titan), "
+              << iters << " iterations/sim cell\n\n";
+
+    Table table;
+    table.header({"backend", "jobs", "computed", "wall ms",
+                  "jobs/s"});
+    std::vector<std::string> entries;
+    for (const auto &backend : backends) {
+        harness::Campaign campaign;
+        campaign.iterations(iters)
+            .overChips(std::vector<std::string>{"Titan"})
+            .overColumns(1, 16)
+            .overBackends({backend})
+            .test(litmus::paperlib::coRR(), "coRR")
+            .test(litmus::paperlib::lb(), "lb")
+            .test(litmus::paperlib::mp(), "mp")
+            .test(litmus::paperlib::sb(), "sb");
+
+        // Cold-start every backend: without this, the process-wide
+        // enumeration memo would let each axiomatic backend after the
+        // first skip the very hot path being measured, making the
+        // timings order-dependent.
+        model::clearEnumerationCache();
+
+        eval::Engine engine;
+        auto start = std::chrono::steady_clock::now();
+        auto results = engine.run(campaign);
+        auto end = std::chrono::steady_clock::now();
+        double wall_ms =
+            std::chrono::duration<double, std::milli>(end - start)
+                .count();
+
+        size_t computed = 0;
+        for (const auto &r : results)
+            computed += !r.fromCache;
+        double jobs_per_s =
+            wall_ms > 0.0 ? 1000.0 * results.size() / wall_ms : 0.0;
+
+        char wall[32], rate[32];
+        std::snprintf(wall, sizeof wall, "%.2f", wall_ms);
+        std::snprintf(rate, sizeof rate, "%.0f", jobs_per_s);
+        table.row({backend, std::to_string(results.size()),
+                   std::to_string(computed), wall, rate});
+
+        std::string e = "{";
+        e += "\"backend\":\"" + jsonEscape(backend) + "\",";
+        e += "\"jobs\":" + std::to_string(results.size()) + ",";
+        e += "\"computed\":" + std::to_string(computed) + ",";
+        e += "\"iterations\":" + std::to_string(iters) + ",";
+        e += "\"wall_ms\":" + std::string(wall) + ",";
+        e += "\"jobs_per_sec\":" + std::string(rate) + ",";
+        e += "\"threads\":" + std::to_string(engine.threads());
+        e += "}";
+        entries.push_back(std::move(e));
+    }
+    table.print(std::cout);
+
+    if (writeJsonArrayFile("BENCH_backends.json", entries)) {
+        std::cout << "\nwrote BENCH_backends.json ("
+                  << entries.size() << " backends)\n";
+    } else {
+        std::cerr << "warning: could not write BENCH_backends.json\n";
+    }
+    return 0;
+}

@@ -1,10 +1,12 @@
 /**
  * @file
- * Regenerates the model validation of Sec. 5.4: litmus tests are
- * generated with the diy extension, every test is run on every Nvidia
- * chip, and each observed behaviour is checked against the PTX model
- * — the model is experimentally sound iff every observed outcome is
- * allowed.
+ * Regenerates the model validation of Sec. 5.4 as ONE conformance
+ * campaign through the unified eval backend API: litmus tests are
+ * generated with the diy extension, every (test x Nvidia chip) cell
+ * runs through the sim backend, every (test x model) pair through an
+ * axiomatic backend, and the ConformanceSink joins the two sides —
+ * the model is experimentally sound iff no cell is "unsound"
+ * (observed-but-forbidden).
  *
  * The paper validates 10930 tests at 100k iterations each; set
  * GPULITMUS_VALIDATION_TESTS / GPULITMUS_VALIDATION_ITERS to scale
@@ -17,13 +19,14 @@
  */
 
 #include <cstdlib>
+#include <map>
+#include <set>
 
 #include "bench_util.h"
-#include "cat/models.h"
 #include "common/strutil.h"
+#include "eval/backend.h"
 #include "gen/generator.h"
 #include "litmus/library.h"
-#include "model/baseline.h"
 #include "model/checker.h"
 
 using namespace gpulitmus;
@@ -78,19 +81,9 @@ main()
     // .ca (L1) and volatile accesses are outside its scope (no fence
     // restores .ca ordering on Fermi), so — like the paper — they are
     // excluded from the validation set.
-    auto inScope = [](const litmus::Test &t) {
-        for (const auto &th : t.program.threads) {
-            for (const auto &in : th.instrs) {
-                if (in.isMemAccess() &&
-                    (in.cacheOp == ptx::CacheOp::Ca || in.isVolatile))
-                    return false;
-            }
-        }
-        return true;
-    };
     size_t excluded = 0;
     for (auto &nt : litmus::paperlib::allTests()) {
-        if (inScope(nt.test))
+        if (model::inModelScope(nt.test))
             tests.push_back({nt.id, std::move(nt.test)});
         else
             ++excluded;
@@ -103,90 +96,86 @@ main()
               << " generated + paper library), " << iters
               << " iterations each\n\n";
 
-    struct ModelStats
-    {
-        const cat::Model *model;
-        uint64_t violations = 0;
-        std::string example;
-    };
-    std::vector<ModelStats> stats = {
-        {&cat::models::ptx()},
-        {&cat::models::rmo()},
-        {&model::operationalBaseline()},
-        {&cat::models::tso()},
-        {&cat::models::sc()},
-        {&cat::models::scPerLocFull()},
-    };
+    // The PTX model plus the ablation models, as eval backends.
+    const std::vector<std::string> models = {
+        "ptx", "rmo", "baseline", "tso", "sc", "sc-per-loc-full"};
 
     auto chips = benchutil::nvidiaChips();
     harness::RunConfig cfg;
     cfg.iterations = iters;
 
-    // All (test x chip) cells are one campaign batch: the simulation
-    // grid shards across the worker pool (GPULITMUS_JOBS) while the
-    // model checking below stays serial.
+    // The whole validation is ONE mixed-backend campaign: the
+    // (test x chip) simulation grid plus one model job per
+    // (test x model), all sharded across the worker pool
+    // (GPULITMUS_JOBS); the ConformanceSink joins the two sides.
     harness::Campaign campaign;
     campaign.base(cfg).overChips(chips);
     for (const auto &entry : tests)
         campaign.test(entry.test, entry.id);
+    for (const auto &entry : tests) {
+        for (const auto &model : models) {
+            harness::Job job;
+            job.backend = model;
+            job.test = entry.test;
+            job.label = entry.id;
+            campaign.add(std::move(job));
+        }
+    }
+
+    eval::ConformanceSink conformance;
+    // Computed jobs only: deduped/cached cells are never reported.
     auto progress = [&](size_t done, size_t total,
-                        const harness::JobResult &) {
+                        const eval::EvalResult &) {
         if (done % 500 == 0 || done == total) {
-            std::cerr << "  simulated " << done << "/" << total
-                      << " cells\r";
+            std::cerr << "  computed " << done << "/" << total
+                      << " jobs\r";
         }
     };
-    auto results = campaign.run(benchutil::engine(), {}, progress);
+    eval::Engine engine;
+    auto results = engine.run(campaign, {&conformance}, progress);
     std::cerr << "\n";
 
     uint64_t total_runs = 0;
-    uint64_t weak_tests = 0;
-    for (size_t t = 0; t < tests.size(); ++t) {
-        const auto &entry = tests[t];
-        std::vector<model::Verdict> verdicts;
-        verdicts.reserve(stats.size());
-        for (auto &ms : stats)
-            verdicts.push_back(
-                model::Checker(*ms.model).check(entry.test));
+    std::set<std::string> weak_tests;
+    for (const auto &r : results) {
+        if (!r.hasHist())
+            continue;
+        total_runs += r.hist->total();
+        if (r.hist->observed() > 0)
+            weak_tests.insert(r.label());
+    }
 
-        bool weak_seen = false;
-        for (size_t c = 0; c < chips.size(); ++c) {
-            const auto &chip = chips[c];
-            const litmus::Histogram &hist =
-                results[t * chips.size() + c].hist;
-            total_runs += hist.total();
-            if (hist.observed() > 0)
-                weak_seen = true;
-            for (size_t m = 0; m < stats.size(); ++m) {
-                auto report =
-                    model::checkSoundness(verdicts[m], hist);
-                if (!report.sound) {
-                    stats[m].violations += report.violations.size();
-                    if (stats[m].example.empty()) {
-                        stats[m].example =
-                            entry.id + " on " + chip.shortName +
-                            ": " + report.violations.front();
-                    }
-                }
-            }
+    // The Sec. 5.4 table: per model, how many observed-but-forbidden
+    // outcomes across every (test x chip) cell.
+    struct ModelStats
+    {
+        uint64_t violations = 0;
+        std::string example;
+    };
+    std::map<std::string, ModelStats> stats;
+    for (const auto &cell : conformance.cells()) {
+        ModelStats &ms = stats[cell.model];
+        ms.violations += cell.violations.size();
+        if (!cell.violations.empty() && ms.example.empty()) {
+            ms.example = cell.test + " on " + cell.chip + ": " +
+                         cell.violations.front();
         }
-        weak_tests += weak_seen;
     }
 
     Table table;
     table.header({"model", "observed-but-forbidden", "verdict",
                   "first counterexample"});
-    for (const auto &ms : stats) {
-        table.row({ms.model->name(),
-                   std::to_string(ms.violations),
+    for (const auto &model : models) {
+        const ModelStats &ms = stats[model];
+        table.row({model, std::to_string(ms.violations),
                    ms.violations == 0 ? "SOUND" : "UNSOUND",
                    ms.example.empty() ? "-" : ms.example});
     }
     table.print(std::cout);
 
     std::cout << "\ntotal simulated runs: " << total_runs
-              << "; tests with weak behaviour observed: " << weak_tests
-              << "/" << tests.size() << "\n";
+              << "; tests with weak behaviour observed: "
+              << weak_tests.size() << "/" << tests.size() << "\n";
     std::cout << "Paper's result: the scoped PTX model is"
                  " experimentally sound w.r.t. all 10930 tests on"
                  " every Nvidia chip of Tab. 1.\n";

@@ -1,21 +1,23 @@
 /**
  * @file
- * Explore the axiomatic side: enumerate every candidate execution of
- * a litmus test, evaluate it under a chosen .cat model, and print the
- * Fig. 14-style event graphs with the forbidding cycles.
+ * Explore the axiomatic side through the unified eval backend API:
+ * resolve a model backend by name (built-in or a .cat file path),
+ * evaluate the test through it, then enumerate every candidate
+ * execution and print the Fig. 14-style event graphs with the
+ * forbidding cycles.
  *
- * Usage: model_explorer [test-name] [model-name]
+ * Usage: model_explorer [test-name] [model-backend]
  *   test-name: coRR | mp | sb | lb | cas-sl | dlb-lb | lb+membar.ctas
- *   model-name: ptx | rmo | sc | tso | sc-per-loc-full | operational
+ *   model-backend: ptx | rmo | sc | tso | sc-per-loc-full | baseline
+ *                  | path/to/model.cat
  */
 
 #include <iostream>
 #include <string>
 
 #include "axiom/enumerate.h"
-#include "cat/models.h"
+#include "eval/backend.h"
 #include "litmus/library.h"
-#include "model/baseline.h"
 
 using namespace gpulitmus;
 
@@ -43,22 +45,6 @@ testByName(const std::string &name)
     return pl::mp();
 }
 
-const cat::Model &
-modelByName(const std::string &name)
-{
-    if (name == "rmo")
-        return cat::models::rmo();
-    if (name == "sc")
-        return cat::models::sc();
-    if (name == "tso")
-        return cat::models::tso();
-    if (name == "sc-per-loc-full")
-        return cat::models::scPerLocFull();
-    if (name == "operational")
-        return model::operationalBaseline();
-    return cat::models::ptx();
-}
-
 } // namespace
 
 int
@@ -68,7 +54,26 @@ main(int argc, char **argv)
     std::string model_name = argc > 2 ? argv[2] : "ptx";
 
     litmus::Test test = testByName(test_name);
-    const cat::Model &model = modelByName(model_name);
+
+    // An unknown model name is a hard error (with the valid names
+    // listed), never a silent fallback.
+    std::string error;
+    auto axiom_backend = eval::modelBackendByName(model_name, &error);
+    if (!axiom_backend) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+    }
+    const cat::Model &model = axiom_backend->model();
+
+    // The one-call evaluation the harness uses for campaigns.
+    eval::EvalJob job;
+    job.backend = model_name;
+    job.test = test;
+    eval::EvalResult evaluated = axiom_backend->evaluate(job);
+    std::cout << "backend " << evaluated.backend << ": "
+              << evaluated.verdict->numCandidates << " candidates, "
+              << evaluated.verdict->numAllowed << " allowed, verdict "
+              << evaluated.verdict->verdict << "\n\n";
 
     std::cout << test.str() << "\n";
     std::cout << "model: " << model.name() << " (checks:";

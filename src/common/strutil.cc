@@ -1,7 +1,10 @@
 #include "common/strutil.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <ostream>
 
 namespace gpulitmus {
 
@@ -84,6 +87,66 @@ parseInt(std::string_view s)
     if (end != str.c_str() + str.size())
         return std::nullopt;
     return static_cast<int64_t>(v);
+}
+
+uint64_t
+fnv1a(std::string_view s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+writeJsonArray(std::ostream &os,
+               const std::vector<std::string> &entries)
+{
+    os << "[\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        os << "  " << entries[i];
+        if (i + 1 < entries.size())
+            os << ",";
+        os << "\n";
+    }
+    os << "]\n";
+}
+
+bool
+writeJsonArrayFile(const std::string &path,
+                   const std::vector<std::string> &entries)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeJsonArray(out, entries);
+    return out.good();
 }
 
 } // namespace gpulitmus

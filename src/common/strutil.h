@@ -7,6 +7,7 @@
 #define GPULITMUS_COMMON_STRUTIL_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,6 +35,23 @@ std::string toLower(std::string_view s);
 
 /** Parse a decimal or 0x-prefixed hexadecimal signed integer. */
 std::optional<int64_t> parseInt(std::string_view s);
+
+/** FNV-1a 64-bit hash; the string-hashing primitive of job keys and
+ * memo tables across the harness, model and eval layers. */
+uint64_t fnv1a(std::string_view s);
+
+/** Escape a string for embedding in a JSON document (quotes,
+ * backslashes, control characters). */
+std::string jsonEscape(std::string_view s);
+
+/** Write pre-rendered JSON values as one array document, one value
+ * per line — the shared emitter behind every sink's writeTo. */
+void writeJsonArray(std::ostream &os,
+                    const std::vector<std::string> &entries);
+
+/** writeJsonArray into a file; false when the path is unwritable. */
+bool writeJsonArrayFile(const std::string &path,
+                        const std::vector<std::string> &entries);
 
 /** Join the items of a container with a separator. */
 template <typename Container>

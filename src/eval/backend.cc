@@ -1,0 +1,581 @@
+#include "eval/backend.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "cat/models.h"
+#include "common/log.h"
+#include "common/strutil.h"
+#include "model/baseline.h"
+#include "opt/amd.h"
+
+namespace gpulitmus::eval {
+
+// ---- SimBackend -----------------------------------------------------
+
+EvalResult
+SimBackend::evaluate(const EvalJob &job) const
+{
+    harness::JobResult sim = harness::runJob(job);
+    EvalResult result;
+    result.job = sim.job;
+    result.backend = name();
+    result.hist = std::move(sim.hist);
+    result.observedPer100k = sim.observedPer100k;
+    result.millis = sim.millis;
+    return result;
+}
+
+// ---- AxiomBackend ---------------------------------------------------
+
+AxiomBackend::AxiomBackend(const cat::Model &model,
+                           axiom::EnumeratorOptions opts)
+    : model_(&model), opts_(opts), name_(model.name())
+{
+}
+
+AxiomBackend::AxiomBackend(std::shared_ptr<const cat::Model> owned,
+                           std::string name)
+    : owned_(std::move(owned)), model_(owned_.get()),
+      name_(std::move(name))
+{
+}
+
+std::shared_ptr<AxiomBackend>
+AxiomBackend::fromSource(const std::string &source,
+                         const std::string &name, std::string *error)
+{
+    cat::CatError cat_error;
+    auto model = cat::Model::parse(source, name, &cat_error);
+    if (!model) {
+        if (error) {
+            *error = "cannot parse model '" + name +
+                     "': " + cat_error.message + " (line " +
+                     std::to_string(cat_error.line) + ")";
+        }
+        return nullptr;
+    }
+    // The protected constructor keeps the parsed model alive for the
+    // backend's lifetime (built-ins are static and stay non-owned).
+    struct Owner : AxiomBackend
+    {
+        Owner(std::shared_ptr<const cat::Model> m, std::string n)
+            : AxiomBackend(std::move(m), std::move(n))
+        {
+        }
+    };
+    return std::make_shared<Owner>(
+        std::make_shared<cat::Model>(std::move(*model)), name);
+}
+
+std::shared_ptr<AxiomBackend>
+AxiomBackend::fromFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open model file '" + path + "'";
+        return nullptr;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return fromSource(buffer.str(), path, error);
+}
+
+EvalResult
+AxiomBackend::evaluate(const EvalJob &job) const
+{
+    auto owned = std::make_shared<EvalJob>(job);
+    EvalResult result;
+    result.job = owned;
+    result.backend = name();
+
+    auto start = std::chrono::steady_clock::now();
+    model::Checker checker(*model_, opts_);
+    result.verdict = checker.check(owned->test);
+    auto end = std::chrono::steady_clock::now();
+    result.millis =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return result;
+}
+
+// ---- BaselineBackend ------------------------------------------------
+
+BaselineBackend::BaselineBackend()
+    : AxiomBackend(model::operationalBaseline())
+{
+}
+
+// ---- registry -------------------------------------------------------
+
+namespace {
+
+bool
+looksLikeModelPath(const std::string &name)
+{
+    return name.find('/') != std::string::npos ||
+           endsWith(name, ".cat");
+}
+
+} // namespace
+
+std::vector<std::string>
+builtinBackendNames()
+{
+    std::vector<std::string> names{harness::kSimBackend};
+    for (const auto &[name, model] : cat::models::all())
+        names.push_back(name);
+    names.push_back("baseline");
+    return names;
+}
+
+std::shared_ptr<const Backend>
+backendByName(const std::string &name, std::string *error)
+{
+    static std::mutex mutex;
+    static std::unordered_map<std::string,
+                              std::shared_ptr<const Backend>>
+        registry;
+
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = registry.find(name);
+    if (it != registry.end())
+        return it->second;
+
+    std::shared_ptr<const Backend> backend;
+    if (name == harness::kSimBackend) {
+        backend = std::make_shared<SimBackend>();
+    } else if (name == "baseline" || name == "operational" ||
+               name == "sorensen") {
+        backend = std::make_shared<BaselineBackend>();
+    } else if (looksLikeModelPath(name)) {
+        backend = AxiomBackend::fromFile(name, error);
+        if (!backend)
+            return nullptr;
+    } else {
+        for (const auto &[model_name, model] : cat::models::all()) {
+            if (model_name == name) {
+                backend = std::make_shared<AxiomBackend>(*model);
+                break;
+            }
+        }
+        if (!backend) {
+            if (error) {
+                *error = "unknown backend '" + name + "' (valid: " +
+                         join(builtinBackendNames(), ", ") +
+                         ", or a .cat file path)";
+            }
+            return nullptr;
+        }
+    }
+    registry.emplace(name, backend);
+    return backend;
+}
+
+std::vector<std::string>
+builtinModelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &name : builtinBackendNames()) {
+        if (name != harness::kSimBackend)
+            names.push_back(name);
+    }
+    return names;
+}
+
+std::shared_ptr<const AxiomBackend>
+modelBackendByName(const std::string &name, std::string *error)
+{
+    auto backend = backendByName(name, error);
+    if (!backend) {
+        // File paths keep the open/parse diagnostic; an unknown id
+        // gets the model list ("sim" would be misleading here).
+        if (error && !looksLikeModelPath(name)) {
+            *error = "unknown model '" + name + "' (valid: " +
+                     join(builtinModelNames(), ", ") +
+                     ", or a .cat file path)";
+        }
+        return nullptr;
+    }
+    auto axiom =
+        std::dynamic_pointer_cast<const AxiomBackend>(backend);
+    if (!axiom && error) {
+        *error = "backend '" + name + "' is not a model (valid: " +
+                 join(builtinModelNames(), ", ") +
+                 ", or a .cat file path)";
+    }
+    return axiom;
+}
+
+// ---- compileForChip -------------------------------------------------
+
+std::optional<litmus::Test>
+compileForChip(const litmus::Test &test, const sim::ChipProfile &chip,
+               std::vector<std::string> *quirks)
+{
+    if (!chip.isAmd())
+        return test;
+    auto compiled = opt::amdCompile(test, chip);
+    if (quirks) {
+        quirks->insert(quirks->end(), compiled.quirks.begin(),
+                       compiled.quirks.end());
+    }
+    if (compiled.miscompiled)
+        return std::nullopt;
+    return compiled.compiled;
+}
+
+// ---- Engine ---------------------------------------------------------
+
+Engine::Engine(EngineOptions opts)
+    : threads_(opts.threads > 0 ? opts.threads
+                                : harness::defaultJobs()),
+      cacheEnabled_(opts.cache)
+{
+}
+
+std::vector<EvalResult>
+Engine::run(const std::vector<EvalJob> &jobs,
+            const std::vector<EvalSink *> &sinks, ProgressFn progress)
+{
+    // Resolve every backend up front so a typo'd id fails before any
+    // work is done, and workers never touch the registry lock.
+    std::unordered_map<std::string, std::shared_ptr<const Backend>>
+        backends;
+    bool aliased = false;
+    for (const auto &job : jobs) {
+        auto it = backends.find(job.backend);
+        if (it == backends.end()) {
+            std::string error;
+            auto backend = backendByName(job.backend, &error);
+            if (!backend)
+                fatal("%s", error.c_str());
+            it = backends.emplace(job.backend, std::move(backend))
+                     .first;
+        }
+        aliased |= it->second->name() != job.backend;
+    }
+
+    // Jobs naming a backend by an alias ("operational" for
+    // "baseline") are normalised to the resolved name, so the cache
+    // identity, the result's backend field and the conformance join
+    // all agree — two aliases of one model dedup onto one evaluation
+    // instead of computing it twice under two keys.
+    std::vector<EvalJob> normalised;
+    const std::vector<EvalJob> *batch = &jobs;
+    if (aliased) {
+        normalised = jobs;
+        for (auto &job : normalised) {
+            const std::string resolved =
+                backends.at(job.backend)->name();
+            if (resolved != job.backend) {
+                if (!backends.count(resolved))
+                    backends.emplace(resolved,
+                                     backends.at(job.backend));
+                job.backend = resolved;
+            }
+        }
+        batch = &normalised;
+    }
+
+    harness::BatchOps<EvalJob, EvalResult> ops;
+    ops.cacheKey = [](const EvalJob &job) { return job.cacheKey(); };
+    ops.execute = [&backends](const EvalJob &job) {
+        const Backend &backend = *backends.at(job.backend);
+        return std::make_shared<EvalResult>(backend.evaluate(job));
+    };
+    // Re-label a shared result for the job that requested it: the
+    // cache key ignores labels (and, for model cells, the whole
+    // chip/incantation axis), so the served copy re-points at the
+    // submitted job and rebinds its histogram to stay self-contained.
+    // harness::Engine::run has the JobResult twin of this closure —
+    // keep the rebind invariant in sync there.
+    ops.servedFrom = [](const EvalResult &src, const EvalJob &requested) {
+        auto hit = std::make_shared<EvalResult>(src);
+        auto owned = std::make_shared<EvalJob>(requested);
+        if (hit->hist)
+            hit->hist->rebind(owned->test);
+        hit->job = std::move(owned);
+        hit->fromCache = true;
+        hit->millis = 0.0;
+        return hit;
+    };
+
+    auto slots = harness::runBatch<EvalJob, EvalResult>(
+        *batch, threads_, cacheEnabled_ ? &cache_ : nullptr, ops,
+        std::move(progress));
+
+    std::vector<EvalResult> results;
+    results.reserve(slots.size());
+    for (const auto &slot : slots) {
+        for (EvalSink *sink : sinks) {
+            if (sink)
+                sink->add(*slot);
+        }
+        results.push_back(*slot);
+    }
+    return results;
+}
+
+std::vector<EvalResult>
+Engine::run(const harness::Campaign &campaign,
+            const std::vector<EvalSink *> &sinks, ProgressFn progress)
+{
+    return run(campaign.jobs(), sinks, std::move(progress));
+}
+
+// ---- ConformanceSink ------------------------------------------------
+
+const char *
+toString(Conformance kind)
+{
+    switch (kind) {
+      case Conformance::Sound: return "sound";
+      case Conformance::Unsound: return "unsound";
+      case Conformance::Imprecise: return "imprecise";
+    }
+    return "?";
+}
+
+void
+ConformanceSink::add(const EvalResult &result)
+{
+    joined_.reset();
+    if (result.hasHist()) {
+        // Cache hits redeliver identical cells; keep the first per
+        // (cell, label) so re-runs do not duplicate rows but
+        // distinctly-labelled duplicates stay visible.
+        if (seenSims_
+                .insert({result.job->cacheKey(), result.label()})
+                .second) {
+            sims_.push_back({result.job, *result.hist,
+                             result.job->test.str()});
+        }
+    }
+    if (result.hasVerdict())
+        verdicts_[result.job->test.str()][result.backend] =
+            *result.verdict;
+}
+
+const std::vector<ConformanceCell> &
+ConformanceSink::cells() const
+{
+    if (joined_)
+        return *joined_;
+    std::vector<ConformanceCell> out;
+    for (const auto &sim : sims_) {
+        auto matching = verdicts_.find(sim.text);
+        if (matching == verdicts_.end())
+            continue;
+        for (const auto &[model, verdict] : matching->second) {
+            ConformanceCell cell;
+            cell.test = sim.job->displayLabel();
+            cell.chip = sim.job->chip.shortName;
+            cell.column = sim.job->inc.column();
+            cell.model = model;
+            cell.runs = sim.hist.total();
+            // Soundness (observed-but-forbidden) is the one
+            // definition in model/checker.h; only the imprecision
+            // side (allowed-never-observed) is computed here.
+            cell.violations =
+                model::checkSoundness(verdict, sim.hist).violations;
+            for (const auto &allowed : verdict.allowedKeys) {
+                auto it = sim.hist.counts().find(allowed);
+                if (it == sim.hist.counts().end() || it->second == 0)
+                    cell.unobserved.push_back(allowed);
+            }
+            cell.kind = !cell.violations.empty()
+                            ? Conformance::Unsound
+                            : (!cell.unobserved.empty()
+                                   ? Conformance::Imprecise
+                                   : Conformance::Sound);
+            out.push_back(std::move(cell));
+        }
+    }
+    joined_ = std::move(out);
+    return *joined_;
+}
+
+size_t
+ConformanceSink::soundCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += cell.kind == Conformance::Sound;
+    return n;
+}
+
+size_t
+ConformanceSink::unsoundCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += cell.kind == Conformance::Unsound;
+    return n;
+}
+
+size_t
+ConformanceSink::impreciseCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += cell.kind == Conformance::Imprecise;
+    return n;
+}
+
+Table
+ConformanceSink::summary() const
+{
+    struct ModelRow
+    {
+        size_t cells = 0;
+        size_t sound = 0, unsound = 0, imprecise = 0;
+        std::string example; ///< first unsound counterexample
+    };
+    std::vector<std::string> order;
+    std::map<std::string, ModelRow> rows;
+    for (const auto &cell : cells()) {
+        if (!rows.count(cell.model))
+            order.push_back(cell.model);
+        ModelRow &row = rows[cell.model];
+        ++row.cells;
+        switch (cell.kind) {
+          case Conformance::Sound: ++row.sound; break;
+          case Conformance::Imprecise: ++row.imprecise; break;
+          case Conformance::Unsound:
+            ++row.unsound;
+            if (row.example.empty()) {
+                row.example = cell.test + " on " + cell.chip + ": " +
+                              cell.violations.front();
+            }
+            break;
+        }
+    }
+    Table table;
+    table.header({"model", "cells", "sound", "unsound", "imprecise",
+                  "verdict", "first counterexample"});
+    for (const auto &model : order) {
+        const ModelRow &row = rows.at(model);
+        table.row({model, std::to_string(row.cells),
+                   std::to_string(row.sound),
+                   std::to_string(row.unsound),
+                   std::to_string(row.imprecise),
+                   row.unsound == 0 ? "SOUND" : "UNSOUND",
+                   row.example.empty() ? "-" : row.example});
+    }
+    return table;
+}
+
+namespace {
+
+std::vector<std::string>
+cellJsonEntries(const std::vector<ConformanceCell> &cells)
+{
+    auto keyArray = [](const std::vector<std::string> &keys) {
+        std::string out = "[";
+        bool first = true;
+        for (const auto &key : keys) {
+            if (!first)
+                out += ",";
+            out += "\"" + jsonEscape(key) + "\"";
+            first = false;
+        }
+        return out + "]";
+    };
+    std::vector<std::string> entries;
+    entries.reserve(cells.size());
+    for (const ConformanceCell &cell : cells) {
+        entries.push_back(
+            "{\"test\":\"" + jsonEscape(cell.test) + "\"," +
+            "\"chip\":\"" + jsonEscape(cell.chip) + "\"," +
+            "\"column\":" + std::to_string(cell.column) + "," +
+            "\"model\":\"" + jsonEscape(cell.model) + "\"," +
+            "\"kind\":\"" + toString(cell.kind) + "\"," +
+            "\"runs\":" + std::to_string(cell.runs) + "," +
+            "\"violations\":" + keyArray(cell.violations) + "," +
+            "\"unobserved\":" + keyArray(cell.unobserved) + "}");
+    }
+    return entries;
+}
+
+} // namespace
+
+void
+ConformanceSink::writeTo(std::ostream &os) const
+{
+    writeJsonArray(os, cellJsonEntries(cells()));
+}
+
+bool
+ConformanceSink::writeFile(const std::string &path) const
+{
+    return writeJsonArrayFile(path, cellJsonEntries(cells()));
+}
+
+// ---- JsonSink -------------------------------------------------------
+
+void
+JsonSink::add(const EvalResult &result)
+{
+    const EvalJob &job = *result.job;
+
+    auto verdictFields = [](const model::Verdict &v) {
+        std::string f;
+        f += ",\"model\":\"" + jsonEscape(v.modelName) + "\"";
+        f += ",\"candidates\":" + std::to_string(v.numCandidates);
+        f += ",\"allowed\":" + std::to_string(v.numAllowed);
+        f += ",\"model_verdict\":\"" + jsonEscape(v.verdict) + "\"";
+        f += ",\"allowed_outcomes\":[";
+        bool first = true;
+        for (const auto &key : v.allowedKeys) {
+            if (!first)
+                f += ",";
+            f += "\"" + jsonEscape(key) + "\"";
+            first = false;
+        }
+        return f + "]";
+    };
+
+    std::string e;
+    if (result.hasHist()) {
+        // Sim cells use the one schema shared with harness::JsonSink;
+        // a both-sided result appends the verdict fields to it.
+        e = harness::simCellJson(job, *result.hist,
+                                 result.observedPer100k,
+                                 result.fromCache, result.millis);
+        if (result.hasVerdict()) {
+            e.pop_back(); // reopen the object
+            e += verdictFields(*result.verdict) + "}";
+        }
+    } else {
+        e = "{";
+        e += "\"label\":\"" + jsonEscape(result.label()) + "\",";
+        e += "\"backend\":\"" + jsonEscape(result.backend) + "\",";
+        e += "\"test\":\"" + jsonEscape(job.test.name) + "\",";
+        e += "\"cached\":" +
+             std::string(result.fromCache ? "true" : "false") + ",";
+        e += "\"millis\":" + std::to_string(result.millis);
+        if (result.hasVerdict())
+            e += verdictFields(*result.verdict);
+        e += "}";
+    }
+    entries_.push_back(std::move(e));
+}
+
+void
+JsonSink::writeTo(std::ostream &os) const
+{
+    writeJsonArray(os, entries_);
+}
+
+bool
+JsonSink::writeFile(const std::string &path) const
+{
+    return writeJsonArrayFile(path, entries_);
+}
+
+} // namespace gpulitmus::eval

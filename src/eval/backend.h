@@ -1,0 +1,358 @@
+/**
+ * @file
+ * The unified evaluation API: one Job, three engines.
+ *
+ * The paper's central empirical move (Sec. 5.4) is running the *same*
+ * litmus test through two very different engines — hardware
+ * observation and herd-style model evaluation — and comparing
+ * verdicts. This layer makes "evaluate test T under engine E" one
+ * uniform operation:
+ *
+ * - a Backend has a name() and evaluates an EvalJob (the harness::Job
+ *   — the job itself names its backend) to an EvalResult, a tagged
+ *   result carrying a litmus::Histogram (simulation), a
+ *   model::Verdict (axiomatic evaluation), or both;
+ * - SimBackend wraps the operational machine (harness::runJob),
+ *   AxiomBackend wraps model::Checker over any cat::Model (built-in
+ *   or parsed from a .cat file), BaselineBackend wraps the Sec. 6
+ *   operational-baseline model;
+ * - eval::Engine shards a mixed-backend batch over the same
+ *   deterministic pool/cache core as the simulation engine
+ *   (harness/batch.h) — sim cells keep their PR-1 RNG streams
+ *   bit-identically, model cells collapse onto one evaluation per
+ *   (backend, test);
+ * - ConformanceSink joins the sim histograms against the model
+ *   verdicts per (chip, test, incantation) cell and classifies each
+ *   as sound, unsound (observed-but-forbidden) or imprecise
+ *   (allowed-never-observed) — the Sec. 5.4 table as one campaign.
+ */
+
+#ifndef GPULITMUS_EVAL_BACKEND_H
+#define GPULITMUS_EVAL_BACKEND_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cat/cat.h"
+#include "common/table.h"
+#include "harness/campaign.h"
+#include "litmus/outcome.h"
+#include "model/checker.h"
+
+namespace gpulitmus::eval {
+
+/** One Job across every engine: the harness job, whose `backend`
+ * field names the engine that evaluates it. */
+using EvalJob = harness::Job;
+
+/**
+ * Tagged result of evaluating one job under one backend: a histogram
+ * (sim), a verdict (axiomatic), or — for joined sinks — either side
+ * of the comparison. Self-contained: `job` owns the test the
+ * histogram references.
+ */
+struct EvalResult
+{
+    /** The job as submitted (shared so histograms, which reference
+     * their test, stay valid however results are copied around). */
+    std::shared_ptr<const EvalJob> job;
+    /** Resolved backend id ("sim", "ptx", "baseline", ...). */
+    std::string backend;
+
+    /** Simulation side: the outcome histogram. */
+    std::optional<litmus::Histogram> hist;
+    /** Observations normalised to per-100k, as the paper reports. */
+    uint64_t observedPer100k = 0;
+
+    /** Axiomatic side: the model verdict. */
+    std::optional<model::Verdict> verdict;
+
+    /** True when the engine served this cell from its cache (or from
+     * a batch-mate with the same cache identity). */
+    bool fromCache = false;
+    /** Wall-clock of the evaluation (0 for cache hits). */
+    double millis = 0.0;
+
+    bool hasHist() const { return hist.has_value(); }
+    bool hasVerdict() const { return verdict.has_value(); }
+
+    const sim::ChipProfile &chip() const { return job->chip; }
+    std::string label() const { return job->displayLabel(); }
+    int column() const { return job->inc.column(); }
+};
+
+/**
+ * An evaluation engine: evaluates jobs, one at a time. Implementations
+ * must be safe to call from multiple worker threads concurrently.
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    /** Backend id; mixed into job keys and shown by sinks. */
+    virtual std::string name() const = 0;
+
+    /** Evaluate one job to a tagged result. */
+    virtual EvalResult evaluate(const EvalJob &job) const = 0;
+};
+
+/** The operational simulator: wraps harness::runJob. Sim cells are
+ * bit-identical to the PR-1 campaign engine (same derived seeds). */
+class SimBackend : public Backend
+{
+  public:
+    std::string name() const override { return harness::kSimBackend; }
+    EvalResult evaluate(const EvalJob &job) const override;
+};
+
+/**
+ * Herd-style axiomatic evaluation: wraps model::Checker over any
+ * cat::Model — a built-in (non-owning) or one parsed from a .cat
+ * file (owning). The result depends only on the test; candidate
+ * enumeration is memoised process-wide (model/checker.h).
+ */
+class AxiomBackend : public Backend
+{
+  public:
+    /** Non-owning view of a built-in (static-lifetime) model; the
+     * backend id defaults to the model's name. */
+    explicit AxiomBackend(const cat::Model &model,
+                          axiom::EnumeratorOptions opts = {});
+
+    /** Parse `source` as a .cat model the backend owns. Returns null
+     * and sets `error` on bad syntax. */
+    static std::shared_ptr<AxiomBackend>
+    fromSource(const std::string &source, const std::string &name,
+               std::string *error = nullptr);
+
+    /** Load and parse a .cat model file. Returns null and sets
+     * `error` when unreadable or malformed. */
+    static std::shared_ptr<AxiomBackend>
+    fromFile(const std::string &path, std::string *error = nullptr);
+
+    std::string name() const override { return name_; }
+    EvalResult evaluate(const EvalJob &job) const override;
+
+    const cat::Model &model() const { return *model_; }
+
+  protected:
+    AxiomBackend(std::shared_ptr<const cat::Model> owned,
+                 std::string name);
+
+  private:
+    std::shared_ptr<const cat::Model> owned_; ///< null for built-ins
+    const cat::Model *model_;
+    axiom::EnumeratorOptions opts_;
+    std::string name_;
+};
+
+/** The Sec. 6 comparison baseline: the operational Nvidia model of
+ * Sorensen et al. rendered axiomatically (model/baseline.h). The
+ * paper shows it unsound (inter-CTA lb+membar.ctas). */
+class BaselineBackend : public AxiomBackend
+{
+  public:
+    BaselineBackend();
+    std::string name() const override { return "baseline"; }
+};
+
+/**
+ * Resolve a backend id: "sim"; a built-in model name (ptx, rmo, sc,
+ * tso, sc-per-loc-full); "baseline" (aliases: operational, sorensen);
+ * or a path to a .cat file (anything containing '/' or ending in
+ * ".cat"). Instances are cached process-wide, so repeated resolution
+ * is cheap and every job naming the same backend shares one engine.
+ * Returns null and sets `error` (which lists the valid names) when
+ * the id is unknown or the file fails to parse.
+ */
+std::shared_ptr<const Backend>
+backendByName(const std::string &name, std::string *error = nullptr);
+
+/** backendByName restricted to axiomatic (model) backends: resolves
+ * the id and rejects non-model engines like "sim". Returns null and
+ * sets `error` (listing the valid model names) otherwise. */
+std::shared_ptr<const AxiomBackend>
+modelBackendByName(const std::string &name,
+                   std::string *error = nullptr);
+
+/** The built-in backend ids, in presentation order. */
+std::vector<std::string> builtinBackendNames();
+
+/** The built-in model backend ids (every builtin except the
+ * simulator). */
+std::vector<std::string> builtinModelNames();
+
+/**
+ * A test as a given chip actually runs it: AMD chips run what their
+ * (simulated) OpenCL compiler produces, Nvidia chips run the test as
+ * written. Returns nullopt when the compiler miscompiles the test
+ * (the paper's "n/a" cells); `quirks` collects compile notes.
+ */
+std::optional<litmus::Test>
+compileForChip(const litmus::Test &test, const sim::ChipProfile &chip,
+               std::vector<std::string> *quirks = nullptr);
+
+/** Streaming sink for evaluation results, delivered in job order. */
+class EvalSink
+{
+  public:
+    virtual ~EvalSink() = default;
+    virtual void add(const EvalResult &result) = 0;
+};
+
+/** Progress callback: computed jobs finished / total to compute (cache
+ * hits are not reported). Invoked from worker threads. */
+using ProgressFn =
+    std::function<void(size_t done, size_t total, const EvalResult &)>;
+
+struct EngineOptions
+{
+    /** Worker threads; 0 means harness::defaultJobs(). */
+    int threads = 0;
+    /** Serve repeated cells from the in-process cache. */
+    bool cache = true;
+};
+
+/**
+ * The multi-backend engine: shards a batch of jobs — any mix of
+ * backends — across a worker pool via the shared deterministic batch
+ * core. Sim jobs produce histograms bit-identical to harness::Engine
+ * at any thread count; model jobs with the same (backend, test)
+ * collapse onto one evaluation. Unknown backend ids are fatal.
+ */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions opts = {});
+
+    std::vector<EvalResult>
+    run(const std::vector<EvalJob> &jobs,
+        const std::vector<EvalSink *> &sinks = {},
+        ProgressFn progress = nullptr);
+
+    /** Convenience: materialise and run a campaign's grid. */
+    std::vector<EvalResult>
+    run(const harness::Campaign &campaign,
+        const std::vector<EvalSink *> &sinks = {},
+        ProgressFn progress = nullptr);
+
+    int threads() const { return threads_; }
+    uint64_t cacheHits() const { return cache_.hits(); }
+    size_t cacheSize() const { return cache_.size(); }
+    void clearCache() { cache_.clear(); }
+
+  private:
+    int threads_ = 1;
+    bool cacheEnabled_ = true;
+    harness::BatchCache<EvalResult> cache_;
+};
+
+// ---- conformance ----------------------------------------------------
+
+/** Classification of one (chip, test, incantation, model) cell. */
+enum class Conformance
+{
+    Sound,     ///< every observed outcome is allowed by the model
+    Unsound,   ///< some observed outcome is forbidden (model bug)
+    Imprecise, ///< sound, but some allowed outcome never showed up
+};
+
+const char *toString(Conformance kind);
+
+/** One row of the Sec. 5.4 join. */
+struct ConformanceCell
+{
+    std::string test;  ///< display label of the simulated cell
+    std::string chip;  ///< chip short name
+    int column = 16;   ///< incantation column of the simulated cell
+    std::string model; ///< model backend id
+    Conformance kind = Conformance::Sound;
+    /** Observed-but-forbidden outcome keys. */
+    std::vector<std::string> violations;
+    /** Allowed-but-never-observed outcome keys. */
+    std::vector<std::string> unobserved;
+    /** Simulated runs behind the observation. */
+    uint64_t runs = 0;
+};
+
+/**
+ * Joins simulation histograms against model verdicts: feed it a
+ * mixed-backend campaign (sim + one or more model backends over the
+ * same tests) and it pairs every simulated (chip, test, incantation)
+ * cell with every verdict for the same test text, classifying each
+ * pair. Duplicate deliveries (cache hits) are deduplicated by cell
+ * identity.
+ */
+class ConformanceSink : public EvalSink
+{
+  public:
+    void add(const EvalResult &result) override;
+
+    /** The join, in first-seen sim-cell order. Computed lazily and
+     * memoised until the next add(), so repeated accessors (summary,
+     * the classification counts) never redo the O(cells x models)
+     * pairing. */
+    const std::vector<ConformanceCell> &cells() const;
+
+    /** Cell counts by classification (over cells()). */
+    size_t soundCells() const;
+    size_t unsoundCells() const;
+    size_t impreciseCells() const;
+
+    /** Per-model summary: cells, sound/unsound/imprecise counts and
+     * the first counterexample. */
+    Table summary() const;
+
+    /** The join as a JSON array of cells. */
+    void writeTo(std::ostream &os) const;
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct SimCell
+    {
+        std::shared_ptr<const EvalJob> job; ///< owns the test
+        litmus::Histogram hist;
+        std::string text; ///< exact test text (join key)
+    };
+
+    std::vector<SimCell> sims_;
+    /** Dedup of redelivered cells by (cache key, label): cache hits
+     * across runs collapse, while distinctly-labelled submissions of
+     * identical content keep their own rows. */
+    std::set<std::pair<uint64_t, std::string>> seenSims_;
+    /** test text -> model id -> verdict; keyed by the exact text so
+     * distinct tests can never collide into each other's verdicts. */
+    std::map<std::string, std::map<std::string, model::Verdict>>
+        verdicts_;
+    /** Memoised join; reset by add(). */
+    mutable std::optional<std::vector<ConformanceCell>> joined_;
+};
+
+/**
+ * Writes evaluation results as a JSON array for machine consumption
+ * (BENCH_backends.json, `gpulitmus validate --json`). Sim entries
+ * mirror harness::JsonSink's schema plus the backend id; verdict
+ * entries carry the model statistics.
+ */
+class JsonSink : public EvalSink
+{
+  public:
+    void add(const EvalResult &result) override;
+
+    void writeTo(std::ostream &os) const;
+    bool writeFile(const std::string &path) const;
+    size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<std::string> entries_;
+};
+
+} // namespace gpulitmus::eval
+
+#endif // GPULITMUS_EVAL_BACKEND_H

@@ -38,21 +38,6 @@ defaultJobs()
     return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-namespace {
-
-uint64_t
-fnv1a(std::string_view s)
-{
-    uint64_t h = 0xcbf29ce484222325ULL;
-    for (char c : s) {
-        h ^= static_cast<unsigned char>(c);
-        h *= 0x100000001b3ULL;
-    }
-    return h;
-}
-
-} // namespace
-
 Job
 Job::fromConfig(const sim::ChipProfile &chip, const litmus::Test &test,
                 const RunConfig &config)
@@ -70,11 +55,20 @@ Job::fromConfig(const sim::ChipProfile &chip, const litmus::Test &test,
 uint64_t
 Job::key() const
 {
-    uint64_t h = splitmix64(seed);
-    h = splitmix64(h ^ fnv1a(chip.shortName));
-    h = splitmix64(h ^ fnv1a(test.str()));
-    h = splitmix64(h ^ static_cast<uint64_t>(inc.column()));
-    return h;
+    if (isSim()) {
+        // The PR-1 derivation, bit for bit: sim-only sweeps keep
+        // their histograms across the backend redesign.
+        uint64_t h = splitmix64(seed);
+        h = splitmix64(h ^ fnv1a(chip.shortName));
+        h = splitmix64(h ^ fnv1a(test.str()));
+        h = splitmix64(h ^ static_cast<uint64_t>(inc.column()));
+        return h;
+    }
+    // A model evaluation depends only on (backend, test); excluding
+    // the chip/incantation/seed axes lets a grid sweep collapse the
+    // redundant cells onto one computation via the result cache.
+    uint64_t h = splitmix64(fnv1a(backend));
+    return splitmix64(h ^ fnv1a(test.str()));
 }
 
 uint64_t
@@ -88,6 +82,8 @@ Job::derivedSeed() const
 uint64_t
 Job::cacheKey() const
 {
+    if (!isSim())
+        return key();
     uint64_t h = splitmix64(key() ^ iterations);
     return splitmix64(h ^ static_cast<uint64_t>(maxMicroSteps));
 }
@@ -97,12 +93,19 @@ Job::displayLabel() const
 {
     if (!label.empty())
         return label;
+    if (!isSim())
+        return test.name + "#" + backend;
     return test.name + "@" + chip.shortName;
 }
 
 JobResult
 runJob(Job job)
 {
+    if (!job.isSim()) {
+        fatal("job '%s' names backend '%s'; harness::runJob simulates"
+              " only — evaluate mixed-backend batches via eval::Engine",
+              job.displayLabel().c_str(), job.backend.c_str());
+    }
     auto owned = std::make_shared<Job>(std::move(job));
 
     JobResult result{owned, litmus::Histogram(owned->test)};
@@ -190,40 +193,13 @@ TableSink::byLabel()
 
 // ---- JsonSink -------------------------------------------------------
 
-namespace {
-
 std::string
-jsonEscape(std::string_view s)
+simCellJson(const Job &job, const litmus::Histogram &hist,
+            uint64_t observed_per_100k, bool from_cache, double millis)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-} // namespace
-
-void
-JsonSink::add(const JobResult &result)
-{
-    const Job &job = *result.job;
     std::string e = "{";
-    e += "\"label\":\"" + jsonEscape(result.label()) + "\",";
+    e += "\"label\":\"" + jsonEscape(job.displayLabel()) + "\",";
+    e += "\"backend\":\"" + jsonEscape(job.backend) + "\",";
     e += "\"test\":\"" + jsonEscape(job.test.name) + "\",";
     e += "\"chip\":\"" + jsonEscape(job.chip.shortName) + "\",";
     e += "\"vendor\":\"" + jsonEscape(job.chip.vendor) + "\",";
@@ -231,48 +207,44 @@ JsonSink::add(const JobResult &result)
     e += "\"incantations\":\"" + jsonEscape(job.inc.str()) + "\",";
     e += "\"iterations\":" + std::to_string(job.iterations) + ",";
     e += "\"seed\":" + std::to_string(job.seed) + ",";
-    e += "\"observed\":" + std::to_string(result.hist.observed()) + ",";
-    e += "\"total\":" + std::to_string(result.hist.total()) + ",";
-    e += "\"obs_per_100k\":" + std::to_string(result.observedPer100k) +
+    e += "\"observed\":" + std::to_string(hist.observed()) + ",";
+    e += "\"total\":" + std::to_string(hist.total()) + ",";
+    e += "\"obs_per_100k\":" + std::to_string(observed_per_100k) +
          ",";
-    e += "\"verdict\":\"" + jsonEscape(result.hist.verdict()) + "\",";
-    e += "\"cached\":" + std::string(result.fromCache ? "true"
-                                                      : "false") +
+    e += "\"verdict\":\"" + jsonEscape(hist.verdict()) + "\",";
+    e += "\"cached\":" + std::string(from_cache ? "true" : "false") +
          ",";
-    e += "\"millis\":" + std::to_string(result.millis) + ",";
+    e += "\"millis\":" + std::to_string(millis) + ",";
     e += "\"counts\":{";
     bool first = true;
-    for (const auto &[key, count] : result.hist.counts()) {
+    for (const auto &[key, count] : hist.counts()) {
         if (!first)
             e += ",";
         e += "\"" + jsonEscape(key) + "\":" + std::to_string(count);
         first = false;
     }
     e += "}}";
-    entries_.push_back(std::move(e));
+    return e;
+}
+
+void
+JsonSink::add(const JobResult &result)
+{
+    entries_.push_back(simCellJson(*result.job, result.hist,
+                                   result.observedPer100k,
+                                   result.fromCache, result.millis));
 }
 
 void
 JsonSink::writeTo(std::ostream &os) const
 {
-    os << "[\n";
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        os << "  " << entries_[i];
-        if (i + 1 < entries_.size())
-            os << ",";
-        os << "\n";
-    }
-    os << "]\n";
+    writeJsonArray(os, entries_);
 }
 
 bool
 JsonSink::writeFile(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    writeTo(out);
-    return out.good();
+    return writeJsonArrayFile(path, entries_);
 }
 
 // ---- Engine ---------------------------------------------------------
@@ -287,16 +259,28 @@ std::vector<JobResult>
 Engine::run(const std::vector<Job> &jobs,
             const std::vector<ResultSink *> &sinks, ProgressFn progress)
 {
-    const size_t n = jobs.size();
-    std::vector<std::shared_ptr<const JobResult>> slots(n);
+    for (const auto &job : jobs) {
+        if (!job.isSim()) {
+            fatal("job '%s' names backend '%s'; harness::Engine runs"
+                  " the simulator only — use eval::Engine for"
+                  " mixed-backend batches",
+                  job.displayLabel().c_str(), job.backend.c_str());
+        }
+    }
 
+    BatchOps<Job, JobResult> ops;
+    ops.cacheKey = [](const Job &job) { return job.cacheKey(); };
+    ops.execute = [](const Job &job) {
+        return std::make_shared<JobResult>(runJob(job));
+    };
     // A cache or alias hit keeps the computed histogram but must
     // carry the *submitted* job's identity (label, etc.), which the
     // cache key deliberately ignores. Copy the result, then repoint
     // it (and its histogram's internal Test reference) at a copy of
     // the submitted job so the result is correctly labelled and
-    // self-contained.
-    auto servedFrom = [](const JobResult &src, const Job &requested) {
+    // self-contained. eval::Engine::run has the EvalResult twin of
+    // this closure — keep the rebind invariant in sync there.
+    ops.servedFrom = [](const JobResult &src, const Job &requested) {
         auto hit = std::make_shared<JobResult>(src);
         auto owned = std::make_shared<Job>(requested);
         hit->hist.rebind(owned->test);
@@ -306,112 +290,21 @@ Engine::run(const std::vector<Job> &jobs,
         return hit;
     };
 
-    // Partition into compute jobs and cache/alias hits. An alias is a
-    // job whose cache key is owned by an earlier job in this batch;
-    // it reuses that job's histogram instead of recomputing it.
-    std::vector<size_t> compute;
-    std::vector<std::pair<size_t, size_t>> aliases; // (index, owner)
-    uint64_t batch_hits = 0;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        std::unordered_map<uint64_t, size_t> owner;
-        compute.reserve(n);
-        for (size_t i = 0; i < n; ++i) {
-            if (!cacheEnabled_) {
-                compute.push_back(i);
-                continue;
-            }
-            uint64_t key = jobs[i].cacheKey();
-            auto cached = cache_.find(key);
-            if (cached != cache_.end()) {
-                slots[i] = servedFrom(*cached->second, jobs[i]);
-                ++batch_hits;
-                continue;
-            }
-            auto claimed = owner.find(key);
-            if (claimed != owner.end()) {
-                aliases.push_back({i, claimed->second});
-                ++batch_hits;
-            } else {
-                owner[key] = i;
-                compute.push_back(i);
-            }
-        }
-        cacheHits_ += batch_hits;
-    }
-
-    // Shard the compute jobs over the pool. Each job's RNG stream is
-    // a pure function of the job, so any sharding yields bit-identical
-    // results.
-    std::atomic<size_t> next{0};
-    std::atomic<size_t> done{0};
-    std::mutex progress_mutex;
-    auto worker = [&]() {
-        for (;;) {
-            size_t c = next.fetch_add(1);
-            if (c >= compute.size())
-                return;
-            size_t idx = compute[c];
-            auto result =
-                std::make_shared<JobResult>(runJob(jobs[idx]));
-            slots[idx] = result;
-            size_t finished = done.fetch_add(1) + 1;
-            if (progress) {
-                std::lock_guard<std::mutex> lock(progress_mutex);
-                progress(finished, compute.size(), *result);
-            }
-        }
-    };
-
-    int pool = static_cast<int>(
-        std::min<size_t>(static_cast<size_t>(threads_), compute.size()));
-    if (pool <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(static_cast<size_t>(pool));
-        for (int t = 0; t < pool; ++t)
-            threads.emplace_back(worker);
-        for (auto &t : threads)
-            t.join();
-    }
-
-    // Resolve in-batch aliases now that their owners have run.
-    for (auto [idx, owner_idx] : aliases)
-        slots[idx] = servedFrom(*slots[owner_idx], jobs[idx]);
-
-    // Install computed results into the cache.
-    if (cacheEnabled_) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (size_t idx : compute)
-            cache_.emplace(jobs[idx].cacheKey(), slots[idx]);
-    }
+    auto slots = runBatch<Job, JobResult>(
+        jobs, threads_, cacheEnabled_ ? &cache_ : nullptr, ops,
+        std::move(progress));
 
     // Deliver to sinks in job order: deterministic at any thread count.
     std::vector<JobResult> results;
-    results.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
+    results.reserve(slots.size());
+    for (const auto &slot : slots) {
         for (ResultSink *sink : sinks) {
             if (sink)
-                sink->add(*slots[i]);
+                sink->add(*slot);
         }
-        results.push_back(*slots[i]);
+        results.push_back(*slot);
     }
     return results;
-}
-
-size_t
-Engine::cacheSize() const
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    return cache_.size();
-}
-
-void
-Engine::clearCache()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    cache_.clear();
 }
 
 // ---- Campaign -------------------------------------------------------
@@ -479,6 +372,13 @@ Campaign::overIncantations(const std::vector<sim::Incantations> &incs)
 }
 
 Campaign &
+Campaign::overBackends(const std::vector<std::string> &backends)
+{
+    backends_.insert(backends_.end(), backends.begin(), backends.end());
+    return *this;
+}
+
+Campaign &
 Campaign::overTests(const std::vector<litmus::Test> &tests)
 {
     for (const auto &t : tests)
@@ -509,22 +409,29 @@ Campaign::jobs() const
     std::vector<sim::Incantations> incs = incs_;
     if (incs.empty())
         incs.push_back(incSet_ ? baseInc_ : sim::Incantations::all());
+    std::vector<std::string> backends = backends_;
+    if (backends.empty())
+        backends.push_back(kSimBackend);
 
     std::vector<Job> out;
-    out.reserve(tests_.size() * chips.size() * incs.size() +
+    out.reserve(tests_.size() * chips.size() * incs.size() *
+                    backends.size() +
                 extra_.size());
     for (const auto &lt : tests_) {
         for (const auto &chip : chips) {
             for (const auto &inc : incs) {
-                Job job;
-                job.chip = chip;
-                job.test = lt.test;
-                job.inc = inc;
-                job.iterations = iterations_;
-                job.seed = seed_;
-                job.maxMicroSteps = maxMicroSteps_;
-                job.label = lt.label;
-                out.push_back(std::move(job));
+                for (const auto &backend : backends) {
+                    Job job;
+                    job.backend = backend;
+                    job.chip = chip;
+                    job.test = lt.test;
+                    job.inc = inc;
+                    job.iterations = iterations_;
+                    job.seed = seed_;
+                    job.maxMicroSteps = maxMicroSteps_;
+                    job.label = lt.label;
+                    out.push_back(std::move(job));
+                }
             }
         }
     }

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "harness/batch.h"
 #include "harness/runner.h"
 #include "litmus/outcome.h"
 #include "sim/chip.h"
@@ -46,6 +47,10 @@ namespace gpulitmus::harness {
  * mix used to derive per-job seeds and hash job keys. */
 uint64_t splitmix64(uint64_t x);
 
+/** Backend id of the operational simulator — the default engine every
+ * job names unless redirected (see eval/backend.h for the others). */
+inline constexpr const char *kSimBackend = "sim";
+
 /**
  * Worker count from the GPULITMUS_JOBS environment variable, or the
  * hardware concurrency when unset. Benchmarks and the CLI use this so
@@ -54,13 +59,22 @@ uint64_t splitmix64(uint64_t x);
 int defaultJobs();
 
 /**
- * One cell of a sweep: run `test` on `chip` under `inc` for
- * `iterations` runs. Self-contained (owns copies of the chip profile
- * and the test) so jobs can outlive whatever built them and run on any
- * worker thread.
+ * One cell of a sweep: evaluate `test` under the engine named by
+ * `backend`. For the simulator backend that means running it on
+ * `chip` under `inc` for `iterations` runs; axiomatic backends (see
+ * eval/backend.h) evaluate the test against a memory model and ignore
+ * the simulation axes. Self-contained (owns copies of the chip
+ * profile and the test) so jobs can outlive whatever built them and
+ * run on any worker thread.
  */
 struct Job
 {
+    /** Which engine evaluates this cell: kSimBackend (the default),
+     * or any id eval::backendByName resolves ("ptx", "baseline",
+     * a .cat file path, ...). harness::Engine executes sim jobs only;
+     * mixed batches go through eval::Engine. */
+    std::string backend = kSimBackend;
+
     sim::ChipProfile chip;
     litmus::Test test;
     sim::Incantations inc = sim::Incantations::all();
@@ -75,21 +89,30 @@ struct Job
                           const litmus::Test &test,
                           const RunConfig &config);
 
+    bool isSim() const { return backend == kSimBackend; }
+
     /**
-     * Identity of the RNG stream: splitmix64-mixed hash of base seed,
-     * chip short name, test text and incantation column. Deliberately
-     * excludes the iteration count so a longer run of the same cell
-     * extends the shorter run's stream instead of resampling it.
+     * Identity of the evaluation. For sim jobs this is the RNG
+     * stream: a splitmix64-mixed hash of base seed, chip short name,
+     * test text and incantation column — exactly the PR-1 derivation,
+     * so sim-only sweeps stay bit-identical. It deliberately excludes
+     * the iteration count so a longer run of the same cell extends
+     * the shorter run's stream instead of resampling it. For model
+     * backends the result depends only on (backend, test): the chip,
+     * incantation, seed and iteration axes are excluded so a grid
+     * sweep checks each (backend, test) pair once.
      */
     uint64_t key() const;
 
-    /** Seed actually fed to the xoshiro generator. */
+    /** Seed actually fed to the xoshiro generator (sim jobs). */
     uint64_t derivedSeed() const;
 
-    /** Cache identity: key() plus iterations and machine limits. */
+    /** Cache identity: key() plus, for sim jobs, iterations and
+     * machine limits. */
     uint64_t cacheKey() const;
 
-    /** label, or "<test>@<chip>" when unset. */
+    /** label, or "<test>@<chip>" ("<test>#<backend>" for non-sim
+     * jobs) when unset. */
     std::string displayLabel() const;
 };
 
@@ -159,6 +182,15 @@ class TableSink : public ResultSink
 };
 
 /**
+ * Render one simulated cell as a JSON object — the one schema shared
+ * by harness::JsonSink and the eval layer's sinks, so BENCH artifacts
+ * and `--json` outputs cannot drift apart.
+ */
+std::string simCellJson(const Job &job, const litmus::Histogram &hist,
+                        uint64_t observed_per_100k, bool from_cache,
+                        double millis);
+
+/**
  * Writes results as a JSON array, one object per job, for machine
  * consumption (bench trajectory tracking, dashboards). Accumulates on
  * add(); writeTo()/writeFile() emit the document.
@@ -194,9 +226,12 @@ struct EngineOptions
 };
 
 /**
- * Shards a batch of jobs across a worker pool. Results come back in
- * job order regardless of scheduling; repeated cells within and across
- * run() calls are computed once (per Engine) when caching is on.
+ * Shards a batch of simulation jobs across a worker pool (built on
+ * the generic batch core in batch.h). Results come back in job order
+ * regardless of scheduling; repeated cells within and across run()
+ * calls are computed once (per Engine) when caching is on. Jobs
+ * naming a non-sim backend are a fatal error here — mixed-backend
+ * batches go through eval::Engine.
  */
 class Engine
 {
@@ -211,23 +246,22 @@ class Engine
 
     int threads() const { return threads_; }
     /** Cells served from cache over this Engine's lifetime. */
-    uint64_t cacheHits() const { return cacheHits_; }
-    size_t cacheSize() const;
-    void clearCache();
+    uint64_t cacheHits() const { return cache_.hits(); }
+    size_t cacheSize() const { return cache_.size(); }
+    void clearCache() { cache_.clear(); }
 
   private:
     int threads_ = 1;
     bool cacheEnabled_ = true;
-    mutable std::mutex mutex_;
-    std::unordered_map<uint64_t, std::shared_ptr<const JobResult>> cache_;
-    uint64_t cacheHits_ = 0;
+    BatchCache<JobResult> cache_;
 };
 
 /**
  * Declarative sweep builder. The job list is the cross product
- * tests × chips × incantations (each axis defaulting to a singleton:
- * the Titan, Incantations::all()), plus any explicitly add()ed jobs,
- * in row-major order (test outermost, incantation innermost).
+ * tests × chips × incantations × backends (each axis defaulting to a
+ * singleton: the Titan, Incantations::all(), the simulator), plus any
+ * explicitly add()ed jobs, in row-major order (test outermost,
+ * backend innermost).
  */
 class Campaign
 {
@@ -248,6 +282,11 @@ class Campaign
     /** Tab. 6 incantation columns lo..hi inclusive (1..16). */
     Campaign &overColumns(int lo, int hi);
     Campaign &overIncantations(const std::vector<sim::Incantations> &incs);
+    /** Backend ids for the innermost grid axis — kSimBackend and/or
+     * anything eval::backendByName resolves. A grid that mixes "sim"
+     * with model backends pairs every simulated cell with its model
+     * evaluations (run it through eval::Engine). */
+    Campaign &overBackends(const std::vector<std::string> &backends);
     Campaign &overTests(const std::vector<litmus::Test> &tests);
     /** Add one test to the test axis, with an explicit label. */
     Campaign &test(const litmus::Test &t, const std::string &label = "");
@@ -280,6 +319,7 @@ class Campaign
     sim::Incantations baseInc_ = sim::Incantations::all();
     std::vector<sim::ChipProfile> chips_;
     std::vector<sim::Incantations> incs_;
+    std::vector<std::string> backends_;
     std::vector<LabelledTest> tests_;
     std::vector<Job> extra_;
 };

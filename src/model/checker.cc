@@ -1,8 +1,122 @@
 #include "model/checker.h"
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
 #include "common/log.h"
 
 namespace gpulitmus::model {
+
+namespace {
+
+/**
+ * Process-wide memo of candidate-execution enumerations, keyed by
+ * test text and enumerator options. Enumeration dominates a
+ * validation sweep's model-side cost; a test checked against N models
+ * (or revisited across campaign cells) enumerates once. Bounded by a
+ * coarse clear-at-capacity policy — sweeps visit tests with strong
+ * locality (every model of one test back to back), so even a small
+ * memo captures nearly all reuse.
+ */
+class EnumerationCache
+{
+  public:
+    std::shared_ptr<const std::vector<axiom::Execution>>
+    get(const litmus::Test &test, const axiom::EnumeratorOptions &opts)
+    {
+        // Keyed by the full test text plus the option values — exact,
+        // never by hash alone, so distinct tests can never collide
+        // into each other's candidate sets.
+        std::string key = keyFor(test, opts);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map_.find(key);
+            if (it != map_.end())
+                return it->second;
+        }
+        // Enumerate outside the lock; a concurrent duplicate is
+        // wasted work, not an error.
+        auto execs =
+            std::make_shared<const std::vector<axiom::Execution>>(
+                axiom::enumerateExecutions(test, opts));
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (map_.size() >= kMaxEntries)
+            map_.clear();
+        map_.emplace(std::move(key), execs);
+        return execs;
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return map_.size();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        map_.clear();
+    }
+
+  private:
+    static std::string
+    keyFor(const litmus::Test &test,
+           const axiom::EnumeratorOptions &opts)
+    {
+        return test.str() + "\n#opts " +
+               std::to_string(opts.maxStepsPerThread) + " " +
+               std::to_string(opts.maxValuesPerLoc) + " " +
+               std::to_string(opts.maxCandidates);
+    }
+
+    // Candidate sets can be large (up to maxCandidates executions);
+    // the access pattern is back-to-back per test (every model of one
+    // test, then the next test), so a small bound captures nearly all
+    // reuse even with a worker pool interleaving a few tests.
+    static constexpr size_t kMaxEntries = 64;
+    mutable std::mutex mutex_;
+    std::unordered_map<
+        std::string,
+        std::shared_ptr<const std::vector<axiom::Execution>>>
+        map_;
+};
+
+EnumerationCache &
+enumerationCache()
+{
+    static EnumerationCache cache;
+    return cache;
+}
+
+} // namespace
+
+size_t
+enumerationCacheSize()
+{
+    return enumerationCache().size();
+}
+
+void
+clearEnumerationCache()
+{
+    enumerationCache().clear();
+}
+
+bool
+inModelScope(const litmus::Test &test)
+{
+    for (const auto &th : test.program.threads) {
+        for (const auto &in : th.instrs) {
+            if (in.isMemAccess() &&
+                (in.cacheOp == ptx::CacheOp::Ca || in.isVolatile))
+                return false;
+        }
+    }
+    return true;
+}
 
 Checker::Checker(const cat::Model &model, axiom::EnumeratorOptions opts)
     : model_(&model), opts_(opts)
@@ -18,7 +132,8 @@ Checker::check(const litmus::Test &test) const
 
     litmus::Histogram keyer(test);
 
-    auto executions = axiom::enumerateExecutions(test, opts_);
+    auto shared = enumerationCache().get(test, opts_);
+    const std::vector<axiom::Execution> &executions = *shared;
     v.numCandidates = executions.size();
 
     bool forall_ok = true;

@@ -51,7 +51,15 @@ struct Verdict
     std::string forbiddingCheck;
 };
 
-/** Evaluates tests against a .cat model. */
+/**
+ * Evaluates tests against a .cat model.
+ *
+ * Candidate-execution enumeration — the hot path of a validation
+ * sweep — is memoised process-wide by (test text, enumerator
+ * options), so checking one test against N models enumerates its
+ * executions once. The memo is shared by every Checker instance and
+ * is safe to hit from campaign worker threads.
+ */
 class Checker
 {
   public:
@@ -69,6 +77,20 @@ class Checker
     const cat::Model *model_;
     axiom::EnumeratorOptions opts_;
 };
+
+/** Entries in the process-wide enumeration memo (for tests and
+ * instrumentation). */
+size_t enumerationCacheSize();
+/** Drop every memoised enumeration. */
+void clearEnumerationCache();
+
+/**
+ * The model's experimental scope (Sec. 5.5): it covers accesses with
+ * the .cg operator only. Tests touching .ca (L1) or volatile accesses
+ * are outside it — no fence restores .ca ordering on Fermi — and are
+ * excluded from validation, exactly as in the paper.
+ */
+bool inModelScope(const litmus::Test &test);
 
 /** Soundness of a model w.r.t. observations (Sec. 5.4): every
  * behaviour the hardware (simulator) exhibits must be allowed. */

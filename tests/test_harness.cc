@@ -169,6 +169,30 @@ TEST(Campaign, GridIsRowMajorTestChipColumn)
         EXPECT_EQ(job.iterations, 100u);
 }
 
+TEST(Campaign, OverBackendsIsTheInnermostAxisAndDefaultsToSim)
+{
+    // Default: every grid job names the simulator.
+    for (const auto &job :
+         Campaign().iterations(50).test(pl::mp(), "mp").jobs())
+        EXPECT_EQ(job.backend, kSimBackend);
+
+    auto jobs = Campaign()
+                    .iterations(50)
+                    .test(pl::mp(), "mp")
+                    .overChips(std::vector<std::string>{"Titan",
+                                                        "TesC"})
+                    .overBackends({kSimBackend, "ptx"})
+                    .jobs();
+    ASSERT_EQ(jobs.size(), 4u);
+    EXPECT_EQ(jobs[0].chip.shortName, "Titan");
+    EXPECT_EQ(jobs[0].backend, kSimBackend);
+    EXPECT_EQ(jobs[1].chip.shortName, "Titan");
+    EXPECT_EQ(jobs[1].backend, "ptx");
+    EXPECT_EQ(jobs[2].chip.shortName, "TesC");
+    EXPECT_EQ(jobs[2].backend, kSimBackend);
+    EXPECT_EQ(jobs[3].backend, "ptx");
+}
+
 TEST(Campaign, JobKeysDistinguishChipsAndColumns)
 {
     RunConfig cfg;

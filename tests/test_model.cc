@@ -226,6 +226,60 @@ TEST_P(ModelInclusion, WeakerModelsAllowMore)
                               rmo_keys.begin(), rmo_keys.end()));
 }
 
+TEST(EnumerationMemo, OneEnumerationServesEveryModel)
+{
+    // The hot path of a validation sweep: checking one test against N
+    // models must enumerate its candidate executions once.
+    clearEnumerationCache();
+    EXPECT_EQ(enumerationCacheSize(), 0u);
+
+    litmus::Test test = paperlib::mp();
+    Verdict first = Checker(cat::models::ptx()).check(test);
+    EXPECT_EQ(enumerationCacheSize(), 1u);
+    Verdict second = Checker(cat::models::sc()).check(test);
+    Verdict third = Checker(operationalBaseline()).check(test);
+    EXPECT_EQ(enumerationCacheSize(), 1u);
+
+    // Distinct verdicts, same candidate set.
+    EXPECT_EQ(first.numCandidates, second.numCandidates);
+    EXPECT_EQ(second.numCandidates, third.numCandidates);
+    EXPECT_TRUE(first.conditionSatisfiable);  // ptx allows weak mp
+    EXPECT_FALSE(second.conditionSatisfiable); // sc forbids it
+
+    // A different test (or different enumerator options) is a new
+    // entry, not a collision.
+    Checker(cat::models::ptx()).check(paperlib::sb());
+    EXPECT_EQ(enumerationCacheSize(), 2u);
+    axiom::EnumeratorOptions opts;
+    opts.maxValuesPerLoc = 8;
+    Checker(cat::models::ptx(), opts).check(test);
+    EXPECT_EQ(enumerationCacheSize(), 3u);
+
+    clearEnumerationCache();
+    EXPECT_EQ(enumerationCacheSize(), 0u);
+}
+
+TEST(EnumerationMemo, MemoisedVerdictsMatchFreshOnes)
+{
+    clearEnumerationCache();
+    litmus::Test test = paperlib::lbMembarCtas();
+    Verdict cold = Checker(cat::models::ptx()).check(test);
+    Verdict warm = Checker(cat::models::ptx()).check(test);
+    EXPECT_EQ(cold.numCandidates, warm.numCandidates);
+    EXPECT_EQ(cold.numAllowed, warm.numAllowed);
+    EXPECT_EQ(cold.allowedKeys, warm.allowedKeys);
+    EXPECT_EQ(cold.verdict, warm.verdict);
+}
+
+TEST(ModelScope, CaAndVolatileTestsAreOutsideTheModelScope)
+{
+    EXPECT_TRUE(inModelScope(paperlib::mp()));
+    EXPECT_TRUE(inModelScope(paperlib::lbMembarCtas()));
+    EXPECT_FALSE(inModelScope(paperlib::mpVolatile()));
+    EXPECT_FALSE(inModelScope(paperlib::mpL1(std::nullopt)));
+    EXPECT_FALSE(inModelScope(paperlib::coRRL2L1(std::nullopt)));
+}
+
 INSTANTIATE_TEST_SUITE_P(
     PaperTests, ModelInclusion,
     ::testing::ValuesIn(litmus::paperlib::allTests()),

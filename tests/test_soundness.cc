@@ -18,18 +18,7 @@
 namespace gpulitmus {
 namespace {
 
-bool
-inModelScope(const litmus::Test &t)
-{
-    for (const auto &th : t.program.threads) {
-        for (const auto &in : th.instrs) {
-            if (in.isMemAccess() &&
-                (in.cacheOp == ptx::CacheOp::Ca || in.isVolatile))
-                return false;
-        }
-    }
-    return true;
-}
+using model::inModelScope;
 
 struct SoundnessCase
 {

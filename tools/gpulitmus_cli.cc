@@ -11,6 +11,12 @@
  *                                        (chip x column) grid
  *   gpulitmus check <file.litmus> [--model NAME]
  *                                        herd-style model evaluation
+ *   gpulitmus validate <file.litmus...> [--models A,B] [--chips A,B]
+ *            [--column 1..16] [--jobs N] [--iterations N]
+ *            [--json FILE]               conformance campaign: run the
+ *                                        tests on the simulator AND
+ *                                        through the models, join the
+ *                                        verdicts (Sec. 5.4)
  *   gpulitmus show <file.litmus>         parse and pretty-print
  *   gpulitmus sass <file.litmus> [-O N] [--sdk V] [--maxwell]
  *                                        assemble + optcheck
@@ -20,17 +26,20 @@
  *   gpulitmus models                     list the built-in models
  *
  * Exit status: 0 on success, 1 on usage/parse errors, 2 when a check
- * fails (optcheck violation or ~exists condition observed).
+ * fails (optcheck violation, ~exists condition observed, or an
+ * unsound validate cell).
  */
 
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cat/models.h"
 #include "common/strutil.h"
+#include "eval/backend.h"
 #include "gen/generator.h"
 #include "harness/campaign.h"
 #include "harness/runner.h"
@@ -119,23 +128,19 @@ loadTest(const std::string &path)
     return test;
 }
 
-const cat::Model &
-modelByName(const std::string &name)
+/**
+ * Resolve a model backend id, or fail hard: an unknown --model name
+ * is a usage error (exit 1) with the valid names listed, never a
+ * silent fallback. Returns null after printing the error.
+ */
+std::shared_ptr<const eval::AxiomBackend>
+modelBackendByName(const std::string &name)
 {
-    if (name == "rmo")
-        return cat::models::rmo();
-    if (name == "sc")
-        return cat::models::sc();
-    if (name == "tso")
-        return cat::models::tso();
-    if (name == "sc-per-loc-full")
-        return cat::models::scPerLocFull();
-    if (name == "operational" || name == "sorensen")
-        return model::operationalBaseline();
-    if (name != "ptx")
-        std::cerr << "warning: unknown model '" << name
-                  << "', using ptx\n";
-    return cat::models::ptx();
+    std::string error;
+    auto backend = eval::modelBackendByName(name, &error);
+    if (!backend)
+        std::cerr << "error: " << error << "\n";
+    return backend;
 }
 
 int
@@ -318,7 +323,10 @@ cmdCheck(const Args &args)
     auto test = loadTest(args.positional[0]);
     if (!test)
         return 1;
-    const cat::Model &m = modelByName(args.get("model", "ptx"));
+    auto backend = modelBackendByName(args.get("model", "ptx"));
+    if (!backend)
+        return 1;
+    const cat::Model &m = backend->model();
     model::Checker checker(m);
     model::Verdict v = checker.check(*test);
     std::cout << "model " << m.name() << ": " << v.numCandidates
@@ -342,6 +350,188 @@ cmdCheck(const Args &args)
                   << v.forbiddenWitness->str();
     }
     return 0;
+}
+
+/**
+ * The Sec. 5.4 workflow as one campaign: run every test on every chip
+ * through the simulator AND through the requested models, join the
+ * histograms against the verdicts, and classify each cell as sound /
+ * unsound / imprecise. Exit 2 when any cell is unsound.
+ */
+int
+cmdValidate(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus validate <file.litmus...>"
+                     " [--models A,B] [--chips A,B] [--column 1..16]"
+                     " [--jobs N] [--iterations N] [--seed S]"
+                     " [--json FILE]\n";
+        return 1;
+    }
+
+    // Resolve the model backends up front: a typo'd --models entry is
+    // a usage error before any simulation runs.
+    std::vector<std::string> models;
+    for (const auto &name : split(args.get("models", "ptx"), ',')) {
+        std::string id = trim(name);
+        if (id == harness::kSimBackend) {
+            std::cerr << "error: --models lists model backends; the"
+                         " simulator side is implicit\n";
+            return 1;
+        }
+        if (!modelBackendByName(id))
+            return 1;
+        models.push_back(id);
+    }
+
+    int column = static_cast<int>(args.getInt("column", 16));
+    harness::RunConfig cfg;
+    cfg.iterations = static_cast<uint64_t>(args.getInt(
+        "iterations",
+        static_cast<int64_t>(harness::defaultIterations())));
+    cfg.seed = static_cast<uint64_t>(args.getInt("seed", 0x6c69));
+    cfg.inc = sim::Incantations::fromColumn(column);
+
+    // Default chip set: the Nvidia chips of the paper's result rows
+    // (the models target PTX; AMD chips can be named explicitly and
+    // run what their OpenCL compiler produces).
+    std::vector<sim::ChipProfile> chips;
+    if (args.has("chips")) {
+        for (const auto &name : split(args.get("chips", ""), ','))
+            chips.push_back(sim::chip(trim(name)));
+    } else {
+        for (const auto &c : sim::resultChips()) {
+            if (c.isNvidia())
+                chips.push_back(c);
+        }
+    }
+
+    // Load the corpus; tests outside the model's scope (.ca /
+    // volatile accesses, Sec. 5.5) are excluded exactly as in the
+    // paper.
+    size_t out_of_scope = 0;
+    std::vector<litmus::Test> tests;
+    for (const auto &path : args.positional) {
+        auto test = loadTest(path);
+        if (!test)
+            return 1;
+        if (!model::inModelScope(*test)) {
+            std::cerr << "note: " << path
+                      << " is outside the model scope (.ca/volatile,"
+                         " Sec. 5.5); skipped\n";
+            ++out_of_scope;
+            continue;
+        }
+        tests.push_back(std::move(*test));
+    }
+    if (tests.empty()) {
+        std::cerr << "error: no in-scope tests to validate\n";
+        return 1;
+    }
+
+    // Build the mixed-backend job list. Each chip runs the test as it
+    // would actually execute it (AMD chips compile through the
+    // simulated OpenCL compiler), and the model jobs carry the same
+    // compiled text so the conformance join compares like with like.
+    harness::Campaign campaign;
+    std::vector<std::string> skipped;
+    for (const auto &test : tests) {
+        for (const auto &chip : chips) {
+            std::vector<std::string> quirks;
+            auto to_run = eval::compileForChip(test, chip, &quirks);
+            for (const auto &q : quirks)
+                std::cerr << "compile note (" << chip.shortName
+                          << "): " << q << "\n";
+            if (!to_run) {
+                skipped.push_back(test.name + " on " + chip.shortName);
+                continue;
+            }
+            harness::Job sim_job =
+                harness::Job::fromConfig(chip, *to_run, cfg);
+            sim_job.label = test.name;
+            campaign.add(sim_job);
+            for (const auto &model : models) {
+                harness::Job model_job = sim_job;
+                model_job.backend = model;
+                model_job.label = test.name;
+                campaign.add(std::move(model_job));
+            }
+        }
+    }
+
+    auto jobs = campaign.jobs();
+    if (jobs.empty()) {
+        // Every (test, chip) cell dropped out as miscompiled: there
+        // is nothing to validate, which must not read as success.
+        std::cerr << "error: nothing to validate — every cell was"
+                     " miscompiled:\n";
+        for (const auto &cell : skipped)
+            std::cerr << "  " << cell << "\n";
+        return 1;
+    }
+
+    eval::EngineOptions eopts;
+    eopts.threads = static_cast<int>(args.getInt("jobs", 0));
+    eval::Engine engine(eopts);
+
+    std::cout << "validate: " << tests.size() << " tests";
+    if (out_of_scope > 0)
+        std::cout << " (+" << out_of_scope << " out of scope)";
+    std::cout << ", " << chips.size() << " chips, models "
+              << join(models, ",") << ", " << cfg.iterations
+              << " iterations/cell, column " << column << ", "
+              << engine.threads() << " worker threads\n\n";
+
+    eval::ConformanceSink conformance;
+    // The denominator is computed jobs: cells served from the cache
+    // or deduped onto a batch-mate (model cells across chips) are
+    // never reported, so this count is below the summary's cell
+    // count by design.
+    auto progress = [](size_t done, size_t total,
+                       const eval::EvalResult &) {
+        if (done % 50 == 0 || done == total)
+            std::cerr << "  computed " << done << "/" << total
+                      << " jobs\r";
+    };
+    engine.run(jobs, {&conformance}, progress);
+    std::cerr << "\n";
+
+    conformance.summary().print(std::cout);
+    const auto &cells = conformance.cells();
+    size_t sound = 0, unsound = 0, imprecise = 0;
+    for (const auto &cell : cells) {
+        switch (cell.kind) {
+          case eval::Conformance::Sound: ++sound; continue;
+          case eval::Conformance::Imprecise: ++imprecise; continue;
+          case eval::Conformance::Unsound: ++unsound; break;
+        }
+        std::cout << "UNSOUND: " << cell.test << " on " << cell.chip
+                  << " (column " << cell.column << ", model "
+                  << cell.model << "): observed-but-forbidden";
+        for (const auto &key : cell.violations)
+            std::cout << " '" << key << "'";
+        std::cout << "\n";
+    }
+    for (const auto &cell : skipped)
+        std::cout << cell << ": miscompiled (n/a)\n";
+
+    std::cout << "\n" << cells.size() << " cells: " << sound
+              << " sound, " << unsound << " unsound, " << imprecise
+              << " imprecise\n";
+
+    if (args.has("json")) {
+        std::string path = args.get("json", "validate.json");
+        if (path == "true") // bare --json
+            path = "validate.json";
+        if (!conformance.writeFile(path)) {
+            std::cerr << "error: cannot write '" << path << "'\n";
+            // An unsound model still outranks the IO error: exit 2
+            // is the documented signal CI keys on.
+            return unsound > 0 ? 2 : 1;
+        }
+        std::cout << "wrote " << path << "\n";
+    }
+    return unsound > 0 ? 2 : 0;
 }
 
 int
@@ -432,8 +622,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr
             << "usage: gpulitmus"
-               " <run|sweep|check|show|sass|generate|chips|models>"
-               " ...\n";
+               " <run|sweep|check|validate|show|sass|generate|chips|"
+               "models> ...\n";
         return 1;
     }
     std::string cmd = argv[1];
@@ -444,6 +634,8 @@ main(int argc, char **argv)
         return cmdSweep(args);
     if (cmd == "check")
         return cmdCheck(args);
+    if (cmd == "validate")
+        return cmdValidate(args);
     if (cmd == "show")
         return cmdShow(args);
     if (cmd == "sass")
