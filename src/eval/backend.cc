@@ -30,6 +30,33 @@ SimBackend::evaluate(const EvalJob &job) const
     return result;
 }
 
+// ---- McBackend ------------------------------------------------------
+
+mc::ExploreOptions
+McBackend::optionsFor(const EvalJob &job)
+{
+    mc::ExploreOptions opts;
+    opts.machine.inc = job.inc;
+    opts.machine.maxMicroSteps = job.maxMicroSteps;
+    opts.maxReplays = job.iterations;
+    return opts;
+}
+
+EvalResult
+McBackend::evaluate(const EvalJob &job) const
+{
+    auto owned = std::make_shared<EvalJob>(job);
+    EvalResult result;
+    result.job = owned;
+    result.backend = name();
+
+    mc::Explorer explorer(owned->chip, owned->test,
+                          optionsFor(*owned));
+    result.exact = explorer.explore();
+    result.millis = result.exact->millis;
+    return result;
+}
+
 // ---- AxiomBackend ---------------------------------------------------
 
 AxiomBackend::AxiomBackend(const cat::Model &model,
@@ -126,7 +153,8 @@ looksLikeModelPath(const std::string &name)
 std::vector<std::string>
 builtinBackendNames()
 {
-    std::vector<std::string> names{harness::kSimBackend};
+    std::vector<std::string> names{harness::kSimBackend,
+                                   harness::kMcBackend};
     for (const auto &[name, model] : cat::models::all())
         names.push_back(name);
     names.push_back("baseline");
@@ -149,6 +177,9 @@ backendByName(const std::string &name, std::string *error)
     std::shared_ptr<const Backend> backend;
     if (name == harness::kSimBackend) {
         backend = std::make_shared<SimBackend>();
+    } else if (name == harness::kMcBackend ||
+               name == "exhaustive") {
+        backend = std::make_shared<McBackend>();
     } else if (name == "baseline" || name == "operational" ||
                name == "sorensen") {
         backend = std::make_shared<BaselineBackend>();
@@ -181,7 +212,8 @@ builtinModelNames()
 {
     std::vector<std::string> names;
     for (const auto &name : builtinBackendNames()) {
-        if (name != harness::kSimBackend)
+        if (name != harness::kSimBackend &&
+            name != harness::kMcBackend)
             names.push_back(name);
     }
     return names;
@@ -337,6 +369,9 @@ toString(Conformance kind)
       case Conformance::Sound: return "sound";
       case Conformance::Unsound: return "unsound";
       case Conformance::Imprecise: return "imprecise";
+      case Conformance::Rare: return "rare";
+      case Conformance::Unreachable: return "unreachable";
+      case Conformance::Bounded: return "bounded";
     }
     return "?";
 }
@@ -356,10 +391,114 @@ ConformanceSink::add(const EvalResult &result)
                              result.job->test.str()});
         }
     }
+    if (result.hasExact()) {
+        if (seenExacts_
+                .insert({result.job->cacheKey(), result.label()})
+                .second) {
+            exacts_.push_back({result.job, *result.exact,
+                               result.job->test.str()});
+        }
+    }
     if (result.hasVerdict())
         verdicts_[result.job->test.str()][result.backend] =
             *result.verdict;
 }
+
+const ConformanceSink::ExactCell *
+ConformanceSink::exactFor(const std::string &text,
+                          const std::string &chip, int column) const
+{
+    for (const auto &e : exacts_) {
+        if (e.text == text && e.job->chip.shortName == chip &&
+            e.job->inc.column() == column)
+            return &e;
+    }
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * Classify one cell against one verdict from whatever evidence is
+ * present: `observed` (sampling histogram, may be null) and `exact`
+ * (exploration, may be null). The upgrade logic in one place so
+ * sim+mc, sim-only and mc-only cells cannot drift apart.
+ */
+void
+classify(ConformanceCell &cell, const model::Verdict &verdict,
+         const std::map<std::string, uint64_t> *observed,
+         const mc::ExploreResult *exact)
+{
+    auto observedHas = [&](const std::string &key) {
+        if (!observed)
+            return false;
+        auto it = observed->find(key);
+        return it != observed->end() && it->second > 0;
+    };
+
+    // Violations: sampled-but-forbidden, plus (definitively)
+    // reachable-but-forbidden when an exploration is present.
+    if (observed) {
+        for (const auto &[key, count] : *observed) {
+            if (count > 0 && !verdict.allowedKeys.count(key))
+                cell.violations.push_back(key);
+        }
+    }
+    if (exact) {
+        for (const auto &[key, weight] : exact->finals) {
+            if (!verdict.allowedKeys.count(key) &&
+                !observedHas(key))
+                cell.violations.push_back(key);
+        }
+        // Cross-engine sanity: everything the sampler saw must be
+        // reachable by the exhaustive search of the same machine.
+        if (observed && exact->complete) {
+            for (const auto &[key, count] : *observed) {
+                if (count > 0 && !exact->reachable(key))
+                    cell.inconsistent.push_back(key);
+            }
+        }
+        cell.hasExact = true;
+        cell.exactComplete = exact->complete;
+    }
+
+    // The imprecision side: allowed outcomes the sampler missed,
+    // resolved by the exploration when one is present.
+    for (const auto &allowed : verdict.allowedKeys) {
+        if (observedHas(allowed))
+            continue;
+        if (!exact) {
+            cell.unobserved.push_back(allowed);
+        } else if (exact->reachable(allowed)) {
+            // Without a histogram, the exploration itself is the
+            // observation: only unsampled-but-reachable keys count
+            // as "rare".
+            if (observed) {
+                cell.rare.push_back(
+                    {allowed, exact->finals.at(allowed)});
+            }
+        } else if (exact->complete) {
+            cell.unreachable.push_back(allowed);
+        } else {
+            cell.unobserved.push_back(allowed);
+        }
+    }
+
+    if (!cell.violations.empty())
+        cell.kind = Conformance::Unsound;
+    else if (!cell.unobserved.empty())
+        cell.kind = cell.hasExact && !cell.exactComplete
+                        ? Conformance::Bounded
+                        : Conformance::Imprecise;
+    else if (!cell.rare.empty())
+        cell.kind = Conformance::Rare;
+    else if (!cell.unreachable.empty())
+        cell.kind = Conformance::Unreachable;
+    else
+        cell.kind = Conformance::Sound;
+}
+
+} // anonymous namespace
 
 const std::vector<ConformanceCell> &
 ConformanceSink::cells() const
@@ -371,6 +510,9 @@ ConformanceSink::cells() const
         auto matching = verdicts_.find(sim.text);
         if (matching == verdicts_.end())
             continue;
+        const ExactCell *exact =
+            exactFor(sim.text, sim.job->chip.shortName,
+                     sim.job->inc.column());
         for (const auto &[model, verdict] : matching->second) {
             ConformanceCell cell;
             cell.test = sim.job->displayLabel();
@@ -378,21 +520,36 @@ ConformanceSink::cells() const
             cell.column = sim.job->inc.column();
             cell.model = model;
             cell.runs = sim.hist.total();
-            // Soundness (observed-but-forbidden) is the one
-            // definition in model/checker.h; only the imprecision
-            // side (allowed-never-observed) is computed here.
-            cell.violations =
-                model::checkSoundness(verdict, sim.hist).violations;
-            for (const auto &allowed : verdict.allowedKeys) {
-                auto it = sim.hist.counts().find(allowed);
-                if (it == sim.hist.counts().end() || it->second == 0)
-                    cell.unobserved.push_back(allowed);
-            }
-            cell.kind = !cell.violations.empty()
-                            ? Conformance::Unsound
-                            : (!cell.unobserved.empty()
-                                   ? Conformance::Imprecise
-                                   : Conformance::Sound);
+            classify(cell, verdict, &sim.hist.counts(),
+                     exact ? &exact->exact : nullptr);
+            out.push_back(std::move(cell));
+        }
+    }
+    // Explorations with no sim histogram of their own still make
+    // cells: the exact set *is* the observation.
+    for (const auto &exact : exacts_) {
+        bool simmed = false;
+        for (const auto &sim : sims_) {
+            simmed = simmed ||
+                     (sim.text == exact.text &&
+                      sim.job->chip.shortName ==
+                          exact.job->chip.shortName &&
+                      sim.job->inc.column() ==
+                          exact.job->inc.column());
+        }
+        if (simmed)
+            continue;
+        auto matching = verdicts_.find(exact.text);
+        if (matching == verdicts_.end())
+            continue;
+        for (const auto &[model, verdict] : matching->second) {
+            ConformanceCell cell;
+            cell.test = exact.job->displayLabel();
+            cell.chip = exact.job->chip.shortName;
+            cell.column = exact.job->inc.column();
+            cell.model = model;
+            cell.runs = 0;
+            classify(cell, verdict, nullptr, &exact.exact);
             out.push_back(std::move(cell));
         }
     }
@@ -427,6 +584,42 @@ ConformanceSink::impreciseCells() const
     return n;
 }
 
+size_t
+ConformanceSink::rareCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += cell.kind == Conformance::Rare;
+    return n;
+}
+
+size_t
+ConformanceSink::unreachableCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += cell.kind == Conformance::Unreachable;
+    return n;
+}
+
+size_t
+ConformanceSink::boundedCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += cell.kind == Conformance::Bounded;
+    return n;
+}
+
+size_t
+ConformanceSink::inconsistentCells() const
+{
+    size_t n = 0;
+    for (const auto &cell : cells())
+        n += !cell.inconsistent.empty();
+    return n;
+}
+
 Table
 ConformanceSink::summary() const
 {
@@ -434,6 +627,7 @@ ConformanceSink::summary() const
     {
         size_t cells = 0;
         size_t sound = 0, unsound = 0, imprecise = 0;
+        size_t rare = 0, unreachable = 0, bounded = 0;
         std::string example; ///< first unsound counterexample
     };
     std::vector<std::string> order;
@@ -446,6 +640,9 @@ ConformanceSink::summary() const
         switch (cell.kind) {
           case Conformance::Sound: ++row.sound; break;
           case Conformance::Imprecise: ++row.imprecise; break;
+          case Conformance::Rare: ++row.rare; break;
+          case Conformance::Unreachable: ++row.unreachable; break;
+          case Conformance::Bounded: ++row.bounded; break;
           case Conformance::Unsound:
             ++row.unsound;
             if (row.example.empty()) {
@@ -457,13 +654,17 @@ ConformanceSink::summary() const
     }
     Table table;
     table.header({"model", "cells", "sound", "unsound", "imprecise",
-                  "verdict", "first counterexample"});
+                  "rare", "unreach", "bounded", "verdict",
+                  "first counterexample"});
     for (const auto &model : order) {
         const ModelRow &row = rows.at(model);
         table.row({model, std::to_string(row.cells),
                    std::to_string(row.sound),
                    std::to_string(row.unsound),
                    std::to_string(row.imprecise),
+                   std::to_string(row.rare),
+                   std::to_string(row.unreachable),
+                   std::to_string(row.bounded),
                    row.unsound == 0 ? "SOUND" : "UNSOUND",
                    row.example.empty() ? "-" : row.example});
     }
@@ -489,6 +690,16 @@ cellJsonEntries(const std::vector<ConformanceCell> &cells)
     std::vector<std::string> entries;
     entries.reserve(cells.size());
     for (const ConformanceCell &cell : cells) {
+        std::string rare = "{";
+        bool first = true;
+        for (const auto &[key, weight] : cell.rare) {
+            if (!first)
+                rare += ",";
+            rare += "\"" + jsonEscape(key) +
+                    "\":" + std::to_string(weight);
+            first = false;
+        }
+        rare += "}";
         entries.push_back(
             "{\"test\":\"" + jsonEscape(cell.test) + "\"," +
             "\"chip\":\"" + jsonEscape(cell.chip) + "\"," +
@@ -496,8 +707,14 @@ cellJsonEntries(const std::vector<ConformanceCell> &cells)
             "\"model\":\"" + jsonEscape(cell.model) + "\"," +
             "\"kind\":\"" + toString(cell.kind) + "\"," +
             "\"runs\":" + std::to_string(cell.runs) + "," +
+            "\"exact\":" + (cell.hasExact ? "true" : "false") + "," +
+            "\"exact_complete\":" +
+            (cell.exactComplete ? "true" : "false") + "," +
             "\"violations\":" + keyArray(cell.violations) + "," +
-            "\"unobserved\":" + keyArray(cell.unobserved) + "}");
+            "\"unobserved\":" + keyArray(cell.unobserved) + "," +
+            "\"rare\":" + rare + "," +
+            "\"unreachable\":" + keyArray(cell.unreachable) + "," +
+            "\"inconsistent\":" + keyArray(cell.inconsistent) + "}");
     }
     return entries;
 }
@@ -540,6 +757,30 @@ JsonSink::add(const EvalResult &result)
         return f + "]";
     };
 
+    auto exactFields = [](const mc::ExploreResult &x) {
+        std::string f;
+        f += ",\"chip\":\"" + jsonEscape(x.chipName) + "\"";
+        f += ",\"column\":" + std::to_string(x.column);
+        f += ",\"complete\":" +
+             std::string(x.complete ? "true" : "false");
+        f += ",\"paths\":" + std::to_string(x.paths);
+        f += ",\"replays\":" + std::to_string(x.stats.replays);
+        f += ",\"states\":" + std::to_string(x.stats.distinctStates);
+        f += ",\"state_cuts\":" + std::to_string(x.stats.stateCuts);
+        f += ",\"sleep_skips\":" +
+             std::to_string(x.stats.sleepSkips);
+        f += ",\"reachable\":{";
+        bool first = true;
+        for (const auto &[key, weight] : x.finals) {
+            if (!first)
+                f += ",";
+            f += "\"" + jsonEscape(key) +
+                 "\":" + std::to_string(weight);
+            first = false;
+        }
+        return f + "}";
+    };
+
     std::string e;
     if (result.hasHist()) {
         // Sim cells use the one schema shared with harness::JsonSink;
@@ -561,6 +802,8 @@ JsonSink::add(const EvalResult &result)
         e += "\"millis\":" + std::to_string(result.millis);
         if (result.hasVerdict())
             e += verdictFields(*result.verdict);
+        if (result.hasExact())
+            e += exactFields(*result.exact);
         e += "}";
     }
     entries_.push_back(std::move(e));

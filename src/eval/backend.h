@@ -42,6 +42,7 @@
 #include "common/table.h"
 #include "harness/campaign.h"
 #include "litmus/outcome.h"
+#include "mc/explorer.h"
 #include "model/checker.h"
 
 namespace gpulitmus::eval {
@@ -72,6 +73,9 @@ struct EvalResult
     /** Axiomatic side: the model verdict. */
     std::optional<model::Verdict> verdict;
 
+    /** Exhaustive side: the exact reachable set (mc backend). */
+    std::optional<mc::ExploreResult> exact;
+
     /** True when the engine served this cell from its cache (or from
      * a batch-mate with the same cache identity). */
     bool fromCache = false;
@@ -80,6 +84,7 @@ struct EvalResult
 
     bool hasHist() const { return hist.has_value(); }
     bool hasVerdict() const { return verdict.has_value(); }
+    bool hasExact() const { return exact.has_value(); }
 
     const sim::ChipProfile &chip() const { return job->chip; }
     std::string label() const { return job->displayLabel(); }
@@ -109,6 +114,25 @@ class SimBackend : public Backend
   public:
     std::string name() const override { return harness::kSimBackend; }
     EvalResult evaluate(const EvalJob &job) const override;
+};
+
+/**
+ * The exhaustive schedule explorer ("mc", alias "exhaustive"): the
+ * same operational machine as SimBackend, enumerated instead of
+ * sampled (mc/explorer.h). The job's `iterations` field is the
+ * replay budget; `seed` is ignored (the search is deterministic).
+ * Returns the exact reachable final-state set in EvalResult::exact —
+ * or a bounded lower bound when the budget trips.
+ */
+class McBackend : public Backend
+{
+  public:
+    std::string name() const override { return harness::kMcBackend; }
+    EvalResult evaluate(const EvalJob &job) const override;
+
+    /** The explorer configuration a job maps to (shared with tests
+     * and benches so they explore exactly what the backend runs). */
+    static mc::ExploreOptions optionsFor(const EvalJob &job);
 };
 
 /**
@@ -163,13 +187,14 @@ class BaselineBackend : public AxiomBackend
 };
 
 /**
- * Resolve a backend id: "sim"; a built-in model name (ptx, rmo, sc,
- * tso, sc-per-loc-full); "baseline" (aliases: operational, sorensen);
- * or a path to a .cat file (anything containing '/' or ending in
- * ".cat"). Instances are cached process-wide, so repeated resolution
- * is cheap and every job naming the same backend shares one engine.
- * Returns null and sets `error` (which lists the valid names) when
- * the id is unknown or the file fails to parse.
+ * Resolve a backend id: "sim"; "mc" (alias: exhaustive); a built-in
+ * model name (ptx, rmo, sc, tso, sc-per-loc-full); "baseline"
+ * (aliases: operational, sorensen); or a path to a .cat file
+ * (anything containing '/' or ending in ".cat"). Instances are
+ * cached process-wide, so repeated resolution is cheap and every job
+ * naming the same backend shares one engine. Returns null and sets
+ * `error` (which lists the valid names) when the id is unknown or
+ * the file fails to parse.
  */
 std::shared_ptr<const Backend>
 backendByName(const std::string &name, std::string *error = nullptr);
@@ -255,12 +280,28 @@ class Engine
 
 // ---- conformance ----------------------------------------------------
 
-/** Classification of one (chip, test, incantation, model) cell. */
+/**
+ * Classification of one (chip, test, incantation, model) cell.
+ *
+ * Sampling alone can only produce the first three. When an exact
+ * (mc) exploration of the same cell is present, every `Imprecise`
+ * verdict upgrades to a definitive one: each allowed-but-unsampled
+ * outcome is either reachable (the sampling was merely unlucky —
+ * `Rare`, with the explorer's path weight) or provably unreachable
+ * by the machine (`Unreachable` — the model is genuinely looser).
+ * `Bounded` is the graceful degradation when the exploration budget
+ * tripped before the question was settled.
+ */
 enum class Conformance
 {
-    Sound,     ///< every observed outcome is allowed by the model
-    Unsound,   ///< some observed outcome is forbidden (model bug)
-    Imprecise, ///< sound, but some allowed outcome never showed up
+    Sound,       ///< every observed outcome is allowed by the model
+    Unsound,     ///< an observed/reachable outcome is forbidden
+    Imprecise,   ///< sound, but some allowed outcome never showed up
+    Rare,        ///< imprecise, upgraded: the missing outcomes are
+                 ///  reachable — under-sampling, not model slack
+    Unreachable, ///< imprecise, upgraded: the missing outcomes are
+                 ///  machine-unreachable — definitive model slack
+    Bounded,     ///< imprecise; the exploration budget ran out first
 };
 
 const char *toString(Conformance kind);
@@ -273,12 +314,26 @@ struct ConformanceCell
     int column = 16;   ///< incantation column of the simulated cell
     std::string model; ///< model backend id
     Conformance kind = Conformance::Sound;
-    /** Observed-but-forbidden outcome keys. */
+    /** Observed-but-forbidden (or mc-reachable-but-forbidden)
+     * outcome keys. */
     std::vector<std::string> violations;
-    /** Allowed-but-never-observed outcome keys. */
+    /** Allowed-but-never-observed outcome keys (still unresolved:
+     * no exact data, or the budget tripped). */
     std::vector<std::string> unobserved;
-    /** Simulated runs behind the observation. */
+    /** Allowed, unsampled, but mc-reachable: key -> path weight. */
+    std::vector<std::pair<std::string, uint64_t>> rare;
+    /** Allowed but provably machine-unreachable (exact data). */
+    std::vector<std::string> unreachable;
+    /** Sim-observed keys the exploration claims unreachable — an
+     * internal inconsistency that must be empty (it would mean the
+     * explorer lost states the sampler found). */
+    std::vector<std::string> inconsistent;
+    /** Simulated runs behind the observation (0 for mc-only cells). */
     uint64_t runs = 0;
+    /** An exact exploration joined this cell. */
+    bool hasExact = false;
+    /** The joined exploration drained its choice tree. */
+    bool exactComplete = false;
 };
 
 /**
@@ -286,7 +341,13 @@ struct ConformanceCell
  * mixed-backend campaign (sim + one or more model backends over the
  * same tests) and it pairs every simulated (chip, test, incantation)
  * cell with every verdict for the same test text, classifying each
- * pair. Duplicate deliveries (cache hits) are deduplicated by cell
+ * pair. Results from the mc backend join too: an exact exploration
+ * of the same (chip, test, incantation) upgrades the cell's verdict
+ * (Imprecise -> Rare/Unreachable/Bounded, see Conformance) and adds
+ * reachable-but-forbidden outcomes to the violations — a definitive
+ * unsoundness proof that needs no sampling luck. Cells with an
+ * exploration but no sim histogram are classified from the exact set
+ * alone. Duplicate deliveries (cache hits) are deduplicated by cell
  * identity.
  */
 class ConformanceSink : public EvalSink
@@ -304,6 +365,12 @@ class ConformanceSink : public EvalSink
     size_t soundCells() const;
     size_t unsoundCells() const;
     size_t impreciseCells() const;
+    size_t rareCells() const;
+    size_t unreachableCells() const;
+    size_t boundedCells() const;
+    /** Cells whose sim observations escaped the exploration — must
+     * stay 0; anything else is an explorer/simulator divergence. */
+    size_t inconsistentCells() const;
 
     /** Per-model summary: cells, sound/unsound/imprecise counts and
      * the first counterexample. */
@@ -321,11 +388,26 @@ class ConformanceSink : public EvalSink
         std::string text; ///< exact test text (join key)
     };
 
+    struct ExactCell
+    {
+        std::shared_ptr<const EvalJob> job; ///< owns the test
+        mc::ExploreResult exact;
+        std::string text; ///< exact test text (join key)
+    };
+
+    /** The exploration joined to a sim cell, matched on (test text,
+     * chip, incantation column); null when none was delivered. */
+    const ExactCell *exactFor(const std::string &text,
+                              const std::string &chip,
+                              int column) const;
+
     std::vector<SimCell> sims_;
+    std::vector<ExactCell> exacts_;
     /** Dedup of redelivered cells by (cache key, label): cache hits
      * across runs collapse, while distinctly-labelled submissions of
      * identical content keep their own rows. */
     std::set<std::pair<uint64_t, std::string>> seenSims_;
+    std::set<std::pair<uint64_t, std::string>> seenExacts_;
     /** test text -> model id -> verdict; keyed by the exact text so
      * distinct tests can never collide into each other's verdicts. */
     std::map<std::string, std::map<std::string, model::Verdict>>

@@ -64,6 +64,15 @@ Job::key() const
         h = splitmix64(h ^ static_cast<uint64_t>(inc.column()));
         return h;
     }
+    if (isMc()) {
+        // Exploration is deterministic: no seed axis. The chip and
+        // the incantation column stay — they select which machine
+        // mechanisms exist, so they shape the reachable set.
+        uint64_t h = splitmix64(fnv1a(backend));
+        h = splitmix64(h ^ fnv1a(chip.shortName));
+        h = splitmix64(h ^ fnv1a(test.str()));
+        return splitmix64(h ^ static_cast<uint64_t>(inc.column()));
+    }
     // A model evaluation depends only on (backend, test); excluding
     // the chip/incantation/seed axes lets a grid sweep collapse the
     // redundant cells onto one computation via the result cache.
@@ -82,7 +91,9 @@ Job::derivedSeed() const
 uint64_t
 Job::cacheKey() const
 {
-    if (!isSim())
+    // Iterations are the sampling depth (sim) or the replay budget
+    // (mc); either way they shape the result, unlike model cells.
+    if (!isSim() && !isMc())
         return key();
     uint64_t h = splitmix64(key() ^ iterations);
     return splitmix64(h ^ static_cast<uint64_t>(maxMicroSteps));
@@ -93,9 +104,11 @@ Job::displayLabel() const
 {
     if (!label.empty())
         return label;
-    if (!isSim())
-        return test.name + "#" + backend;
-    return test.name + "@" + chip.shortName;
+    if (isSim())
+        return test.name + "@" + chip.shortName;
+    if (isMc())
+        return test.name + "@" + chip.shortName + "#mc";
+    return test.name + "#" + backend;
 }
 
 JobResult

@@ -51,6 +51,10 @@ uint64_t splitmix64(uint64_t x);
  * job names unless redirected (see eval/backend.h for the others). */
 inline constexpr const char *kSimBackend = "sim";
 
+/** Backend id of the exhaustive schedule explorer (mc/explorer.h):
+ * the same machine as kSimBackend, enumerated instead of sampled. */
+inline constexpr const char *kMcBackend = "mc";
+
 /**
  * Worker count from the GPULITMUS_JOBS environment variable, or the
  * hardware concurrency when unset. Benchmarks and the CLI use this so
@@ -90,6 +94,9 @@ struct Job
                           const RunConfig &config);
 
     bool isSim() const { return backend == kSimBackend; }
+    /** Exhaustive exploration of the same machine: `iterations`
+     * doubles as the replay budget (see eval::McBackend). */
+    bool isMc() const { return backend == kMcBackend; }
 
     /**
      * Identity of the evaluation. For sim jobs this is the RNG
@@ -97,7 +104,9 @@ struct Job
      * test text and incantation column — exactly the PR-1 derivation,
      * so sim-only sweeps stay bit-identical. It deliberately excludes
      * the iteration count so a longer run of the same cell extends
-     * the shorter run's stream instead of resampling it. For model
+     * the shorter run's stream instead of resampling it. Exploration
+     * (mc) jobs key on (backend, chip, test, incantation) — the seed
+     * axis is excluded because the search is deterministic. For model
      * backends the result depends only on (backend, test): the chip,
      * incantation, seed and iteration axes are excluded so a grid
      * sweep checks each (backend, test) pair once.
@@ -107,12 +116,12 @@ struct Job
     /** Seed actually fed to the xoshiro generator (sim jobs). */
     uint64_t derivedSeed() const;
 
-    /** Cache identity: key() plus, for sim jobs, iterations and
-     * machine limits. */
+    /** Cache identity: key() plus, for sim and mc jobs, iterations
+     * (the mc replay budget) and machine limits. */
     uint64_t cacheKey() const;
 
-    /** label, or "<test>@<chip>" ("<test>#<backend>" for non-sim
-     * jobs) when unset. */
+    /** label, or "<test>@<chip>" ("<test>@<chip>#mc" for mc jobs,
+     * "<test>#<backend>" for model jobs) when unset. */
     std::string displayLabel() const;
 };
 

@@ -221,7 +221,10 @@ parseTest(const std::string &text, ParseError *error)
         return std::nullopt;
     }
     test.arch = header_words[0];
-    test.name = header_words[1];
+    // Everything after the arch is the name: generated tests are
+    // named by their cycle ("PodWW Rfe-dev PodRR Fre-dev"), which
+    // must survive a print/reparse round trip.
+    test.name = trim(header->substr(test.arch.size()));
 
     // Optional init block in braces, possibly spanning lines.
     auto line = nextLine();

@@ -1,0 +1,488 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "litmus/outcome.h"
+
+namespace gpulitmus::mc {
+
+namespace {
+
+using ReachMap = std::map<std::string, uint64_t>;
+
+/** One materialised node of the choice tree (a position in the
+ * current DFS trace). */
+struct Node
+{
+    sim::ChoiceKind kind = sim::ChoiceKind::Schedule;
+    uint32_t arity = 0;
+    uint32_t chosen = 0;
+    /** Alternatives not yet explored, in exploration order. */
+    std::vector<uint32_t> pending;
+
+    bool isSchedule = false;
+    /** (state, sleep) cache key; empty when caching is off. */
+    std::string stateKey;
+    /** Sleeping actor ids at node entry (indexed by actor id). */
+    std::vector<uint8_t> sleepIn;
+    /** Actor table snapshot (schedule nodes only). */
+    std::vector<sim::ActorOption> actors;
+    /** Actor ids of alternatives already fully explored here. */
+    std::vector<int> doneIds;
+
+    /** Reachable finals accumulated across this node's subtree. */
+    ReachMap finals;
+    /** Shallowest trace depth a grey cut in this subtree escaped to
+     * (SIZE_MAX: none) — the Tarjan-style completeness watermark. */
+    size_t taint = SIZE_MAX;
+};
+
+struct VisitEntry
+{
+    bool black = false; ///< subtree fully explored; finals memoised
+    size_t greyDepth = 0;
+    /** Fetch-counter digest at the visit. encodeState excludes the
+     * counters (they only feed the runaway-loop guard), so a revisit
+     * whose digest differs is equal in behaviour *except* for its
+     * distance to that guard: the cut still terminates the search,
+     * but the result demotes from exact to bounded. */
+    uint64_t executedSig = 0;
+    ReachMap finals;
+};
+
+/** Thrown to abandon a replay whose continuation is already known. */
+struct Cut
+{
+    ReachMap finals;  ///< memoised contribution (empty for grey cuts)
+    size_t taintDepth; ///< grey ancestor depth, SIZE_MAX for black
+};
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------------
+// Impl: the DFS driver doubling as the machine's choice provider.
+// ---------------------------------------------------------------------
+
+struct Explorer::Impl final : sim::ChoiceProvider
+{
+    ExploreOptions opts;
+    const litmus::Test *test;
+    sim::Machine machine;
+    litmus::Histogram keyer; ///< outcome-key renderer only
+
+    std::vector<Node> trace;
+    ReachMap rootFinals;
+    std::set<std::string> satisfying;
+    std::unordered_map<std::string, VisitEntry> visited;
+    ExploreStats stats;
+
+    size_t depth = 0; ///< next choice index within the current replay
+    size_t nIds = 0;  ///< actor-id space: threads + SM drain actors
+    std::vector<uint8_t> curSleep;
+    std::string scratch;
+    /** A step guard fired, or a state cut merged states at different
+     * distances to one: the result is a sound lower bound, but
+     * "exact" can no longer be claimed. */
+    bool guardSensitive = false;
+
+    Impl(const sim::ChipProfile &chip, const litmus::Test &t,
+         ExploreOptions o)
+        : opts(o), test(&t), machine(chip, t, o.machine), keyer(t)
+    {
+        nIds = static_cast<size_t>(t.program.numThreads()) +
+               static_cast<size_t>(chip.numSMs);
+        curSleep.assign(nIds, 0);
+    }
+
+    // ---- ChoiceProvider ---------------------------------------------
+
+    /** The actor table only matters when the upcoming schedule point
+     * materialises a fresh node; replayed prefixes (the bulk of the
+     * search) use their stored snapshot, so skip the build. */
+    bool wantsActors() const override { return depth >= trace.size(); }
+    int delayBump() override { return 0; }
+
+    uint64_t
+    pick(sim::ChoiceKind kind, uint64_t n) override
+    {
+        // Timing-only / symmetric kinds are pinned: exhaustive
+        // scheduling subsumes start skew, and CTA->SM placements are
+        // interchangeable (homogeneous SMs, always distinct).
+        if (kind == sim::ChoiceKind::Placement ||
+            kind == sim::ChoiceKind::StartSkew)
+            return 0;
+        if (n <= 1)
+            return 0;
+        return takeSimple(kind, static_cast<uint32_t>(n));
+    }
+
+    bool
+    chance(sim::ChoiceKind kind, double p, bool relevant) override
+    {
+        // Irrelevant choices cannot affect reachability; drain
+        // laziness is "the scheduler did not pick the drain actor",
+        // which the schedule choice already enumerates.
+        if (!relevant || kind == sim::ChoiceKind::DrainLazy)
+            return false;
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return takeSimple(kind, 2) != 0;
+    }
+
+    uint32_t
+    takeSimple(sim::ChoiceKind kind, uint32_t arity)
+    {
+        size_t d = depth++;
+        if (d < trace.size()) {
+            const Node &node = trace[d];
+            if (node.kind != kind || node.isSchedule)
+                panic("mc replay diverged at depth %zu: expected %s,"
+                      " machine asked %s",
+                      d, sim::toString(node.kind),
+                      sim::toString(kind));
+            return node.chosen;
+        }
+        ++stats.choicePoints;
+        Node node;
+        node.kind = kind;
+        node.arity = arity;
+        node.chosen = 0;
+        node.pending.reserve(arity - 1);
+        for (uint32_t v = 1; v < arity; ++v)
+            node.pending.push_back(v);
+        trace.push_back(std::move(node));
+        stats.peakDepth = std::max(stats.peakDepth, trace.size());
+        return 0;
+    }
+
+    size_t
+    pickActor(const sim::ActorOption *actors, size_t n) override
+    {
+        size_t d = depth++;
+        if (d < trace.size()) {
+            Node &node = trace[d];
+            if (!node.isSchedule)
+                panic("mc replay diverged at depth %zu: stored %s,"
+                      " machine asked schedule",
+                      d, sim::toString(node.kind));
+            updateSleepAfter(node);
+            return node.chosen;
+        }
+        ++stats.choicePoints;
+        Node node;
+        node.kind = sim::ChoiceKind::Schedule;
+        node.isSchedule = true;
+        node.arity = static_cast<uint32_t>(n);
+        node.actors.assign(actors, actors + n);
+        node.sleepIn = curSleep;
+
+        if (opts.stateCache) {
+            scratch.clear();
+            machine.encodeState(scratch);
+            if (opts.sleepSets) {
+                // Sleep sets change which subtrees get explored, so
+                // cache hits are only sound between points with the
+                // same sleep discipline: key on the pair.
+                scratch.append(curSleep.begin(), curSleep.end());
+            }
+            uint64_t sig = machine.executedSignature();
+            auto it = visited.find(scratch);
+            if (it != visited.end()) {
+                ++stats.stateCuts;
+                // Equal state, different fetch counters (a loop):
+                // the continuations differ only in the runaway
+                // guard's distance, so cut — the search terminates —
+                // but the exactness claim is gone.
+                if (it->second.executedSig != sig)
+                    guardSensitive = true;
+                if (it->second.black)
+                    throw Cut{it->second.finals, SIZE_MAX};
+                throw Cut{{}, it->second.greyDepth};
+            }
+            node.stateKey = scratch;
+            visited.emplace(scratch, VisitEntry{false, d, sig, {}});
+        }
+
+        std::vector<uint32_t> cands;
+        for (size_t i = 0; i < n; ++i) {
+            if (!actors[i].enabled)
+                continue;
+            if (opts.sleepSets &&
+                curSleep[static_cast<size_t>(actors[i].id)]) {
+                ++stats.sleepSkips;
+                continue;
+            }
+            cands.push_back(static_cast<uint32_t>(i));
+        }
+        if (cands.empty()) {
+            // Every enabled actor is asleep: all continuations from
+            // here are covered by the sibling subtrees that put them
+            // to sleep.
+            if (!node.stateKey.empty())
+                visited.erase(node.stateKey);
+            throw Cut{{}, SIZE_MAX};
+        }
+        node.chosen = cands[0];
+        node.pending.assign(cands.begin() + 1, cands.end());
+        trace.push_back(std::move(node));
+        stats.peakDepth = std::max(stats.peakDepth, trace.size());
+        updateSleepAfter(trace.back());
+        return trace.back().chosen;
+    }
+
+    // ---- sleep-set plumbing -----------------------------------------
+
+    const sim::ActorOption *
+    findActor(const Node &node, int id) const
+    {
+        for (const auto &a : node.actors) {
+            if (a.id == id)
+                return &a;
+        }
+        return nullptr;
+    }
+
+    /** Set curSleep to the child sleep set of `node` descended via
+     * node.chosen: (sleepIn ∪ explored siblings) minus everything
+     * dependent on the chosen slot. */
+    void
+    updateSleepAfter(const Node &node)
+    {
+        if (!opts.sleepSets) {
+            return;
+        }
+        const sim::ActorOption &a = node.actors[node.chosen];
+        std::vector<uint8_t> s = node.sleepIn;
+        s.resize(nIds, 0);
+        for (int id : node.doneIds)
+            s[static_cast<size_t>(id)] = 1;
+        s[static_cast<size_t>(a.id)] = 0;
+        for (size_t id = 0; id < nIds; ++id) {
+            if (!s[id])
+                continue;
+            const sim::ActorOption *u =
+                findActor(node, static_cast<int>(id));
+            if (!u || !sim::independentActors(*u, a))
+                s[id] = 0;
+        }
+        curSleep = std::move(s);
+    }
+
+    // ---- subtree accounting -----------------------------------------
+
+    void
+    contribute(const ReachMap &m)
+    {
+        ReachMap &dst =
+            trace.empty() ? rootFinals : trace.back().finals;
+        for (const auto &[k, c] : m)
+            dst[k] += c;
+    }
+
+    void
+    contributeOne(const std::string &key)
+    {
+        ReachMap &dst =
+            trace.empty() ? rootFinals : trace.back().finals;
+        dst[key] += 1;
+    }
+
+    void
+    taintDeepest(size_t greyDepth)
+    {
+        if (!trace.empty())
+            trace.back().taint =
+                std::min(trace.back().taint, greyDepth);
+    }
+
+    /** Pop the deepest node, folding its finals (and, when it cannot
+     * be declared complete, its taint) into its parent. `blacken`
+     * is false during a budget abort: nothing gets memoised then. */
+    void
+    popTop(bool blacken)
+    {
+        Node top = std::move(trace.back());
+        trace.pop_back();
+        size_t my_depth = trace.size();
+
+        if (top.isSchedule && !top.stateKey.empty()) {
+            bool closed = blacken && top.taint >= my_depth;
+            if (closed) {
+                VisitEntry &e = visited[top.stateKey];
+                e.black = true;
+                e.finals = top.finals;
+                ++stats.distinctStates;
+            } else {
+                // Part of a cycle to a live ancestor (or aborted):
+                // its finals are incomplete, so forget the state and
+                // let a future visit re-explore it.
+                visited.erase(top.stateKey);
+            }
+        }
+
+        if (trace.empty()) {
+            for (const auto &[k, c] : top.finals)
+                rootFinals[k] += c;
+        } else {
+            Node &p = trace.back();
+            for (const auto &[k, c] : top.finals)
+                p.finals[k] += c;
+            if (top.taint < my_depth)
+                p.taint = std::min(p.taint, top.taint);
+        }
+    }
+
+    /** Advance to the next unexplored alternative; true = drained. */
+    bool
+    backtrack()
+    {
+        while (!trace.empty()) {
+            Node &top = trace.back();
+            if (!top.pending.empty()) {
+                if (top.isSchedule)
+                    top.doneIds.push_back(
+                        top.actors[top.chosen].id);
+                top.chosen = top.pending.front();
+                top.pending.erase(top.pending.begin());
+                return false;
+            }
+            popTop(true);
+        }
+        return true;
+    }
+
+    // ---- the search -------------------------------------------------
+
+    ExploreResult
+    explore()
+    {
+        auto start = std::chrono::steady_clock::now();
+        bool complete = true;
+        bool drained = false;
+        while (!drained) {
+            if (stats.replays >= opts.maxReplays ||
+                (opts.stateCache &&
+                 visited.size() >= opts.maxStates)) {
+                complete = false;
+                break;
+            }
+            ++stats.replays;
+            depth = 0;
+            std::fill(curSleep.begin(), curSleep.end(), 0);
+            try {
+                litmus::FinalState st = machine.run(*this);
+                std::string key = keyer.keyFor(st);
+                contributeOne(key);
+                if (test->condition.eval(st))
+                    satisfying.insert(key);
+                // A guard-truncated execution is a real (sampler-
+                // reachable) outcome and is recorded, but the tree
+                // beyond the guard was not enumerated: bounded.
+                if (machine.lastRunTruncated())
+                    guardSensitive = true;
+            } catch (Cut &cut) {
+                contribute(cut.finals);
+                if (cut.taintDepth != SIZE_MAX)
+                    taintDeepest(cut.taintDepth);
+            }
+            drained = backtrack();
+        }
+
+        // On a budget abort the open spine still holds sound partial
+        // results: fold them down without memoising anything.
+        while (!trace.empty())
+            popTop(false);
+
+        ExploreResult result;
+        result.testName = test->name;
+        result.chipName = machine.chip().shortName;
+        result.column = opts.machine.inc.column();
+        result.complete = complete && !guardSensitive;
+        result.finals = std::move(rootFinals);
+        result.satisfying = std::move(satisfying);
+        for (const auto &[k, c] : result.finals)
+            result.paths += c;
+        result.stats = stats;
+        auto end = std::chrono::steady_clock::now();
+        result.millis =
+            std::chrono::duration<double, std::milli>(end - start)
+                .count();
+        return result;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Explorer / ExploreResult
+// ---------------------------------------------------------------------
+
+Explorer::Explorer(const sim::ChipProfile &chip,
+                   const litmus::Test &test, ExploreOptions opts)
+    : impl_(std::make_unique<Impl>(chip, test, opts))
+{
+}
+
+Explorer::~Explorer() = default;
+
+ExploreResult
+Explorer::explore()
+{
+    return impl_->explore();
+}
+
+std::string
+ExploreResult::verdict(const litmus::Test &test) const
+{
+    bool sat = !satisfying.empty();
+    bool ok;
+    switch (test.quantifier) {
+      case litmus::Quantifier::Exists:
+        ok = sat;
+        break;
+      case litmus::Quantifier::NotExists:
+        ok = !sat;
+        break;
+      case litmus::Quantifier::Forall:
+        ok = satisfying.size() == finals.size();
+        break;
+      default:
+        ok = false;
+        break;
+    }
+    std::string v = ok ? "Ok" : "No";
+    if (!complete)
+        v += " (bounded)";
+    return v;
+}
+
+std::string
+ExploreResult::str() const
+{
+    std::string out;
+    out += "Exploration " + testName + "@" + chipName + " (column " +
+           std::to_string(column) + ")\n";
+    out += (complete ? std::string("complete: ")
+                     : std::string(
+                           "BOUNDED (budget or loop guard): ")) +
+           std::to_string(finals.size()) + " reachable states, " +
+           std::to_string(paths) + " paths\n";
+    for (const auto &[key, weight] : finals) {
+        out += "  " + std::to_string(weight) + "  " + key;
+        if (satisfying.count(key))
+            out += "  *";
+        out += "\n";
+    }
+    out += "replays " + std::to_string(stats.replays) + ", states " +
+           std::to_string(stats.distinctStates) + ", state cuts " +
+           std::to_string(stats.stateCuts) + ", sleep skips " +
+           std::to_string(stats.sleepSkips) + ", peak depth " +
+           std::to_string(stats.peakDepth) + "\n";
+    return out;
+}
+
+} // namespace gpulitmus::mc

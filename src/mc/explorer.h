@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The exhaustive schedule explorer: stateless model checking of the
+ * operational machine, in the style GPUMC applies to GPU litmus tests.
+ *
+ * Where the sampling harness runs a test 100k times and reports a
+ * histogram, the Explorer *enumerates* the machine's nondeterminism:
+ * it replays the simulator depth-first over the tree of choice
+ * sequences (sim/choice.h) and returns the exact set of reachable
+ * final states. A sampled sweep can only say "never observed"; an
+ * exploration says "unreachable" — which is what upgrades the eval
+ * layer's `imprecise` conformance verdicts to definitive ones.
+ *
+ * Pruning, in decreasing order of leverage:
+ *
+ * - Timing-only choices (start skew, replay delays, drain laziness,
+ *   CTA placement) are pinned to a canonical value: exhaustive
+ *   scheduling subsumes them, so no reachable final state is lost.
+ * - State caching: at every scheduling point the machine state is
+ *   encoded canonically; a revisited state contributes its memoised
+ *   reachable set and the branch is cut. Cycles (spin loops) are
+ *   handled with a Tarjan-style taint watermark — a state is only
+ *   memoised once its subtree closed without escaping to a live
+ *   ancestor — which also makes unbounded-loop tests terminate.
+ * - Sleep sets (DPOR): after a scheduling alternative is fully
+ *   explored, it is put to sleep for its siblings' subtrees and only
+ *   woken by a dependent memory event, where (in)dependence is judged
+ *   from conservative per-actor footprints over the simulator's
+ *   memory events. Because the sleep discipline changes which
+ *   subtrees are explored, the state-cache key is the (state, sleep
+ *   set) pair.
+ *
+ * A step/branch budget (maxReplays / maxStates) degrades gracefully:
+ * when it trips, the result is flagged incomplete ("bounded") and
+ * carries everything reached so far — still a sound lower bound on
+ * the reachable set, no longer a proof of unreachability.
+ */
+
+#ifndef GPULITMUS_MC_EXPLORER_H
+#define GPULITMUS_MC_EXPLORER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "litmus/test.h"
+#include "sim/chip.h"
+#include "sim/machine.h"
+
+namespace gpulitmus::mc {
+
+struct ExploreOptions
+{
+    /** Machine configuration: the incantation column gates which
+     * reordering mechanisms exist at all, exactly as it does for
+     * sampling. */
+    sim::MachineOptions machine{};
+    /** Replay budget: one replay is one root-to-leaf execution of the
+     * machine. Exceeding it yields an incomplete (bounded) result. */
+    uint64_t maxReplays = 1u << 20;
+    /** Cap on cached states before the search declares itself
+     * bounded. */
+    uint64_t maxStates = 1u << 22;
+    /** DPOR sleep-set pruning (sound; disable to cross-check). */
+    bool sleepSets = true;
+    /** State-cache pruning (sound; disable to cross-check). */
+    bool stateCache = true;
+};
+
+struct ExploreStats
+{
+    uint64_t replays = 0;      ///< executions of the machine
+    uint64_t choicePoints = 0; ///< distinct tree nodes materialised
+    uint64_t stateCuts = 0;    ///< branches cut at a cached state
+    uint64_t sleepSkips = 0;   ///< schedule alternatives put to sleep
+    uint64_t distinctStates = 0; ///< scheduling states memoised
+    size_t peakDepth = 0;      ///< deepest choice sequence
+};
+
+/** The exact outcome of exploring one (chip, test, incantation). */
+struct ExploreResult
+{
+    std::string testName;
+    std::string chipName;
+    int column = 16;
+
+    /** True when the whole choice tree was drained: `finals` is then
+     * the *exact* reachable set. False when a budget tripped: `finals`
+     * is a sound lower bound ("bounded" verdict). */
+    bool complete = false;
+
+    /** Reachable final states: outcome key (litmus::Histogram::keyFor
+     * format, the same keys model verdicts use) -> number of explored
+     * choice paths producing it. The weight is structural — how many
+     * distinct schedules land there, not a probability — and is what
+     * conformance reports as rare(weight). */
+    std::map<std::string, uint64_t> finals;
+
+    /** Reachable keys whose final state satisfies the condition
+     * body. */
+    std::set<std::string> satisfying;
+
+    /** Sum of all path weights. */
+    uint64_t paths = 0;
+
+    ExploreStats stats;
+    double millis = 0.0;
+
+    bool
+    reachable(const std::string &key) const
+    {
+        return finals.count(key) > 0;
+    }
+
+    /** Litmus-style verdict against the test's quantifier, qualified
+     * by completeness: "Ok"/"No", or "Ok (bounded)" etc. */
+    std::string verdict(const litmus::Test &test) const;
+
+    /** Multi-line report: reachable states with weights + stats. */
+    std::string str() const;
+};
+
+/**
+ * Explores one litmus test on one chip profile. Construct once, call
+ * explore(); the search is fully deterministic (no RNG), so repeated
+ * explorations are bit-identical.
+ */
+class Explorer
+{
+  public:
+    Explorer(const sim::ChipProfile &chip, const litmus::Test &test,
+             ExploreOptions opts = {});
+    ~Explorer();
+
+    ExploreResult explore();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace gpulitmus::mc
+
+#endif // GPULITMUS_MC_EXPLORER_H

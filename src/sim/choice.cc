@@ -1,0 +1,42 @@
+#include "sim/choice.h"
+
+namespace gpulitmus::sim {
+
+const char *
+toString(ChoiceKind kind)
+{
+    switch (kind) {
+      case ChoiceKind::Schedule: return "schedule";
+      case ChoiceKind::IssueOrCommit: return "issue-or-commit";
+      case ChoiceKind::CommitBypass: return "commit-bypass";
+      case ChoiceKind::DrainLazy: return "drain-lazy";
+      case ChoiceKind::DrainReorder: return "drain-reorder";
+      case ChoiceKind::DrainIndex: return "drain-index";
+      case ChoiceKind::StoreBypass: return "store-bypass";
+      case ChoiceKind::AtomFlush: return "atom-flush";
+      case ChoiceKind::FenceLeak: return "fence-leak";
+      case ChoiceKind::L1Warm: return "l1-warm";
+      case ChoiceKind::L1StaleServe: return "l1-stale-serve";
+      case ChoiceKind::CgEvict: return "cg-evict";
+      case ChoiceKind::FenceInval: return "fence-inval";
+      case ChoiceKind::Placement: return "placement";
+      case ChoiceKind::StartSkew: return "start-skew";
+      case ChoiceKind::ReplayDelay: return "replay-delay";
+    }
+    return "?";
+}
+
+bool
+independentActors(const ActorOption &a, const ActorOption &b)
+{
+    if (a.id == b.id)
+        return false;
+    // Same SM: the slots share a store buffer and an L1.
+    if (a.foot.sm >= 0 && a.foot.sm == b.foot.sm)
+        return false;
+    uint64_t aw = a.foot.writes, bw = b.foot.writes;
+    uint64_t ar = a.foot.reads | aw, br = b.foot.reads | bw;
+    return (aw & br) == 0 && (bw & ar) == 0;
+}
+
+} // namespace gpulitmus::sim

@@ -186,7 +186,7 @@ Machine::compile()
 // ---------------------------------------------------------------------
 
 void
-Machine::resetRun(Rng &rng)
+Machine::resetRun(ChoiceProvider &cp)
 {
     int nthreads = test_->program.numThreads();
     int nlocs = static_cast<int>(locShared_.size());
@@ -211,7 +211,15 @@ Machine::resetRun(Rng &rng)
         std::vector<int> sm_ids(chip_->numSMs);
         for (int s = 0; s < chip_->numSMs; ++s)
             sm_ids[s] = s;
-        rng.shuffle(sm_ids);
+        // Fisher-Yates, one pick per swap: the sampler consumes the
+        // Rng exactly as Rng::shuffle did. SMs are homogeneous and
+        // every placement puts the CTAs on distinct SMs, so the kind
+        // is reachability-irrelevant by construction.
+        for (size_t i = sm_ids.size() - 1; i > 0; --i) {
+            size_t j = static_cast<size_t>(
+                cp.pick(ChoiceKind::Placement, i + 1));
+            std::swap(sm_ids[i], sm_ids[j]);
+        }
         for (int c = 0; c < nctas; ++c)
             cta_sm[c] = sm_ids[c];
     } else {
@@ -223,11 +231,21 @@ Machine::resetRun(Rng &rng)
     for (auto &sm : sms_)
         sm.l1.assign(nlocs, std::nullopt);
 
+    uint64_t used_sms = 0;
+    for (int c = 0; c < nctas; ++c)
+        used_sms |= 1ULL << (cta_sm[c] & 63);
+
     // Warm L1 lines: residue of previous iterations holding the
-    // (re-)initialised values.
-    for (auto &sm : sms_) {
+    // (re-)initialised values. Lines of SMs hosting no testing
+    // thread are never read, so those choices cannot affect the
+    // reachable final states.
+    for (size_t s = 0; s < sms_.size(); ++s) {
+        SmState &sm = sms_[s];
+        bool relevant = (used_sms >> (s & 63)) & 1;
         for (int i = 0; i < nlocs; ++i) {
-            if (!locShared_[i] && rng.chance(chip_->l1WarmProb))
+            if (!locShared_[i] &&
+                cp.chance(ChoiceKind::L1Warm, chip_->l1WarmProb,
+                          relevant))
                 sm.l1[i] = L1Line{locInit_[i], false, false};
         }
     }
@@ -239,10 +257,12 @@ Machine::resetRun(Rng &rng)
         ts.smId = cta_sm[ts.ctaId];
         ts.regs = compiled_[t].regInit;
         if (opts_.inc.threadSync)
-            ts.startDelay = static_cast<int>(rng.below(3));
+            ts.startDelay =
+                static_cast<int>(cp.pick(ChoiceKind::StartSkew, 3));
         else
-            ts.startDelay = static_cast<int>(
-                rng.below(static_cast<uint64_t>(opts_.skewMax)));
+            ts.startDelay = static_cast<int>(cp.pick(
+                ChoiceKind::StartSkew,
+                static_cast<uint64_t>(opts_.skewMax)));
     }
 }
 
@@ -263,7 +283,79 @@ Machine::allDone() const
 litmus::FinalState
 Machine::run(Rng &rng)
 {
-    resetRun(rng);
+    RngChoice choices(rng);
+    return run(choices);
+}
+
+/**
+ * Build the actor table for one Schedule choice: threads first, then
+ * the drain actors, mirroring the index space the scheduler picks
+ * over. Footprints over-approximate what the slot may touch: for a
+ * thread, the union over its window (issue-only slots touch nothing
+ * shared, so the union covers them too); a fence or atomic in the
+ * window may additionally flush the SM's buffer.
+ */
+void
+Machine::fillActorTable(int nthreads, const int *drain_sms,
+                        int ndrains)
+{
+    actors_.assign(static_cast<size_t>(nthreads + ndrains),
+                   ActorOption{});
+    for (int t = 0; t < nthreads; ++t) {
+        const ThreadState &ts = threads_[t];
+        ActorOption &a = actors_[static_cast<size_t>(t)];
+        a.id = t;
+        a.isDrain = false;
+        a.enabled = !ts.done();
+        a.foot.sm = ts.smId;
+        bool flushes = false;
+        for (const auto &e : ts.window) {
+            switch (e.kind) {
+              case WindowEntry::Kind::Load:
+                a.foot.reads |= 1ULL << (e.loc & 63);
+                break;
+              case WindowEntry::Kind::Store:
+                a.foot.writes |= 1ULL << (e.loc & 63);
+                break;
+              case WindowEntry::Kind::Atomic:
+                a.foot.reads |= 1ULL << (e.loc & 63);
+                a.foot.writes |= 1ULL << (e.loc & 63);
+                flushes = true;
+                break;
+              case WindowEntry::Kind::Fence:
+                // A fence's invalidation sweep touches the SM's L1
+                // lines for *any* location, and whether a line is
+                // stale depends on every remote store's ordering
+                // relative to the fence: conservatively conflict
+                // with all memory events.
+                a.foot.reads = ~0ULL;
+                a.foot.writes = ~0ULL;
+                flushes = true;
+                break;
+            }
+        }
+        if (flushes) {
+            for (const auto &b : sms_[ts.smId].buffer)
+                a.foot.writes |= 1ULL << (b.loc & 63);
+        }
+    }
+    for (int d = 0; d < ndrains; ++d) {
+        int sm = drain_sms[d];
+        ActorOption &a = actors_[static_cast<size_t>(nthreads + d)];
+        a.id = nthreads + sm;
+        a.isDrain = true;
+        a.enabled = true;
+        a.foot.sm = sm;
+        for (const auto &b : sms_[sm].buffer)
+            a.foot.writes |= 1ULL << (b.loc & 63);
+    }
+}
+
+litmus::FinalState
+Machine::run(ChoiceProvider &cp)
+{
+    resetRun(cp);
+    truncated_ = false;
 
     int nthreads = static_cast<int>(threads_.size());
     for (int step = 0; step < opts_.maxMicroSteps && !allDone();
@@ -281,20 +373,28 @@ Machine::run(Rng &rng)
                     drain_sms[ndrains++] = s;
             }
         }
-        int choice = static_cast<int>(
-            rng.below(static_cast<uint64_t>(nthreads + ndrains)));
+        const ActorOption *table = nullptr;
+        if (cp.wantsActors()) {
+            fillActorTable(nthreads, drain_sms, ndrains);
+            table = actors_.data();
+        }
+        int choice = static_cast<int>(cp.pickActor(
+            table, static_cast<size_t>(nthreads + ndrains)));
         if (choice < nthreads) {
             if (!threads_[choice].done())
-                threadAction(choice, rng);
+                threadAction(choice, cp);
         } else {
             int sm = drain_sms[choice - nthreads];
-            if (!rng.chance(chip_->drainLaziness))
-                drainOne(sm, rng, false);
+            if (!cp.chance(ChoiceKind::DrainLazy,
+                           chip_->drainLaziness))
+                drainOne(sm, cp, false);
         }
     }
 
     // If the step budget ran out (imported tests with unbounded
     // spins), finish deterministically in order.
+    if (!allDone())
+        truncated_ = true;
     for (int t = 0; t < nthreads; ++t) {
         ThreadState &ts = threads_[t];
         int guard = opts_.maxMicroSteps;
@@ -302,16 +402,16 @@ Machine::run(Rng &rng)
             if (!ts.window.empty()) {
                 WindowEntry e = ts.window.front();
                 ts.window.erase(ts.window.begin());
-                perform(t, e, rng);
+                perform(t, e, cp);
             } else {
                 ts.startDelay = 0;
-                issueOne(t, rng);
+                issueOne(t, cp);
             }
         }
     }
 
     for (int s = 0; s < chip_->numSMs; ++s)
-        drainAll(s, rng);
+        drainAll(s, cp);
 
     return collectFinalState();
 }
@@ -321,7 +421,7 @@ Machine::run(Rng &rng)
 // ---------------------------------------------------------------------
 
 void
-Machine::threadAction(int tid, Rng &rng)
+Machine::threadAction(int tid, ChoiceProvider &cp)
 {
     ThreadState &ts = threads_[tid];
     if (ts.startDelay > 0) {
@@ -339,10 +439,12 @@ Machine::threadAction(int tid, Rng &rng)
         }
     }
 
-    if (can_issue && (!can_commit || rng.chance(0.6)))
-        issueOne(tid, rng);
+    if (can_issue &&
+        (!can_commit ||
+         cp.chance(ChoiceKind::IssueOrCommit, 0.6)))
+        issueOne(tid, cp);
     else if (can_commit)
-        commitOne(tid, rng);
+        commitOne(tid, cp);
 }
 
 bool
@@ -376,7 +478,7 @@ Machine::issueReady(const ThreadState &ts, const CInstr &in) const
 }
 
 void
-Machine::issueOne(int tid, Rng &rng)
+Machine::issueOne(int tid, ChoiceProvider &cp)
 {
     ThreadState &ts = threads_[tid];
     const CThread &ct = compiled_[tid];
@@ -388,6 +490,7 @@ Machine::issueOne(int tid, Rng &rng)
     if (++ts.executed > opts_.maxMicroSteps) {
         // Unbounded loop guard: stop fetching.
         ts.frontDone = true;
+        truncated_ = true;
         return;
     }
 
@@ -499,7 +602,7 @@ Machine::issueOne(int tid, Rng &rng)
     }
     ts.window.push_back(e);
     ++ts.pc;
-    (void)rng;
+    (void)cp;
 }
 
 // ---------------------------------------------------------------------
@@ -634,7 +737,7 @@ Machine::pairPass(const ThreadState &ts, const WindowEntry &older,
 }
 
 void
-Machine::commitOne(int tid, Rng &rng)
+Machine::commitOne(int tid, ChoiceProvider &cp)
 {
     ThreadState &ts = threads_[tid];
     SmState &sm = sms_[ts.smId];
@@ -644,7 +747,7 @@ Machine::commitOne(int tid, Rng &rng)
     const WindowEntry &head = ts.window.front();
     if (head.kind == WindowEntry::Kind::Fence &&
         fenceActiveFor(ts, head, false) && !sm.buffer.empty()) {
-        drainOne(ts.smId, rng, true);
+        drainOne(ts.smId, cp, true);
         return;
     }
 
@@ -655,7 +758,7 @@ Machine::commitOne(int tid, Rng &rng)
         double p = 1.0;
         for (size_t j = 0; j < i && p > 0.0; ++j)
             p = std::min(p, pairPass(ts, ts.window[j], ts.window[i]));
-        if (p > 0.0 && rng.chance(p)) {
+        if (p > 0.0 && cp.chance(ChoiceKind::CommitBypass, p)) {
             chosen = i;
             break;
         }
@@ -667,12 +770,12 @@ Machine::commitOne(int tid, Rng &rng)
         return;
     }
     for (size_t j = 0; j < chosen; ++j)
-        ts.window[j].delay += 2 + static_cast<int>(rng.below(4));
+        ts.window[j].delay += cp.delayBump();
 
     WindowEntry e = ts.window[chosen];
     ts.window.erase(ts.window.begin() +
                     static_cast<std::ptrdiff_t>(chosen));
-    perform(tid, e, rng);
+    perform(tid, e, cp);
 }
 
 // ---------------------------------------------------------------------
@@ -680,7 +783,8 @@ Machine::commitOne(int tid, Rng &rng)
 // ---------------------------------------------------------------------
 
 void
-Machine::writeToL2(int loc, int64_t value, int writer_sm, Rng &rng)
+Machine::writeToL2(int loc, int64_t value, int writer_sm,
+                   ChoiceProvider &cp)
 {
     l2_[loc] = value;
     for (int s = 0; s < chip_->numSMs; ++s) {
@@ -694,22 +798,24 @@ Machine::writeToL2(int loc, int64_t value, int writer_sm, Rng &rng)
         line->stale = true;
         line->staleFromOwnSM = s == writer_sm;
     }
-    (void)rng;
+    (void)cp;
 }
 
 void
-Machine::drainOne(int sm_id, Rng &rng, bool in_order_only)
+Machine::drainOne(int sm_id, ChoiceProvider &cp, bool in_order_only)
 {
     SmState &sm = sms_[sm_id];
     if (sm.buffer.empty())
         return;
     size_t pick = 0;
     if (!in_order_only && sm.buffer.size() > 1 &&
-        rng.chance(chip_->drainOutOfOrder)) {
+        cp.chance(ChoiceKind::DrainReorder, chip_->drainOutOfOrder)) {
         // Out-of-order drain, preserving per-location order: a
         // younger entry may drain early only if no older entry
         // targets the same location.
-        size_t cand = 1 + rng.below(sm.buffer.size() - 1);
+        size_t cand = 1 + static_cast<size_t>(cp.pick(
+                              ChoiceKind::DrainIndex,
+                              sm.buffer.size() - 1));
         bool blocked = false;
         for (size_t j = 0; j < cand; ++j) {
             if (sm.buffer[j].loc == sm.buffer[cand].loc)
@@ -721,18 +827,18 @@ Machine::drainOne(int sm_id, Rng &rng, bool in_order_only)
     BufferEntry e = sm.buffer[pick];
     sm.buffer.erase(sm.buffer.begin() +
                     static_cast<std::ptrdiff_t>(pick));
-    writeToL2(e.loc, e.value, sm_id, rng);
+    writeToL2(e.loc, e.value, sm_id, cp);
 }
 
 void
-Machine::drainAll(int sm_id, Rng &rng)
+Machine::drainAll(int sm_id, ChoiceProvider &cp)
 {
     while (!sms_[sm_id].buffer.empty())
-        drainOne(sm_id, rng, true);
+        drainOne(sm_id, cp, true);
 }
 
 int64_t
-Machine::readGlobal(int tid, const WindowEntry &e, Rng &rng)
+Machine::readGlobal(int tid, const WindowEntry &e, ChoiceProvider &cp)
 {
     ThreadState &ts = threads_[tid];
     SmState &sm = sms_[ts.smId];
@@ -750,7 +856,7 @@ Machine::readGlobal(int tid, const WindowEntry &e, Rng &rng)
             if (!line->stale)
                 return line->value;
             double serve = stress() ? chip_->l1StaleServe : 0.02;
-            if (rng.chance(serve))
+            if (cp.chance(ChoiceKind::L1StaleServe, serve))
                 return line->value;
             line.reset(); // self-invalidate, fall through to miss
         }
@@ -761,13 +867,14 @@ Machine::readGlobal(int tid, const WindowEntry &e, Rng &rng)
 
     // .cg (and volatile / default) reads the L2; on chips honouring
     // the manual it also evicts a matching L1 line.
-    if (rng.chance(chip_->cgLoadEvicts))
+    if (cp.chance(ChoiceKind::CgEvict, chip_->cgLoadEvicts))
         sm.l1[e.loc].reset();
     return l2_[e.loc];
 }
 
 void
-Machine::applyFenceInvalidation(int sm_id, ptx::Scope scope, Rng &rng)
+Machine::applyFenceInvalidation(int sm_id, ptx::Scope scope,
+                                ChoiceProvider &cp)
 {
     SmState &sm = sms_[sm_id];
     for (auto &line : sm.l1) {
@@ -776,13 +883,13 @@ Machine::applyFenceInvalidation(int sm_id, ptx::Scope scope, Rng &rng)
         double p = line->staleFromOwnSM
                        ? chip_->invalSame.at(scope)
                        : chip_->invalInter.at(scope);
-        if (rng.chance(p))
+        if (cp.chance(ChoiceKind::FenceInval, p))
             line.reset();
     }
 }
 
 void
-Machine::perform(int tid, const WindowEntry &e, Rng &rng)
+Machine::perform(int tid, const WindowEntry &e, ChoiceProvider &cp)
 {
     ThreadState &ts = threads_[tid];
     SmState &sm = sms_[ts.smId];
@@ -794,11 +901,12 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
         // the SM's buffer (it orders the SM-local stream); it leaks
         // with probability 1 - ctaFenceInterBlock, which is what
         // keeps inter-CTA lb+membar.ctas observable (Sec. 6).
-        if (active || rng.chance(chip_->ctaFenceInterBlock))
-            drainAll(ts.smId, rng);
+        if (active || cp.chance(ChoiceKind::FenceLeak,
+                                chip_->ctaFenceInterBlock))
+            drainAll(ts.smId, cp);
         // Reader-side invalidation of stale L1 lines, with per-chip
         // per-scope success probabilities (Figs. 3 and 4).
-        applyFenceInvalidation(ts.smId, e.scope, rng);
+        applyFenceInvalidation(ts.smId, e.scope, cp);
         return;
       }
 
@@ -807,7 +915,7 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
         if (e.shared)
             v = sharedMem_[ts.ctaId][e.loc];
         else
-            v = readGlobal(tid, e, rng);
+            v = readGlobal(tid, e, cp);
         if (e.dst >= 0) {
             ts.regs[e.dst] = v;
             ts.pendingRegs &= ~(1ULL << e.dst);
@@ -821,7 +929,7 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
             return;
         }
         ts.wroteLocs |= 1ULL << e.loc;
-        if (rng.chance(chip_->cgStoreEvicts))
+        if (cp.chance(ChoiceKind::CgEvict, chip_->cgStoreEvicts))
             sm.l1[e.loc].reset();
         // Bank conflicts serialise the pipeline enough that stores
         // often go straight to the L2 (Tab. 6: Titan sb collapses
@@ -834,11 +942,11 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
                 same_loc_buffered = true;
         }
         bool bypass = opts_.inc.bankConflicts && !same_loc_buffered &&
-                      rng.chance(0.5);
+                      cp.chance(ChoiceKind::StoreBypass, 0.5);
         if (chip_->storeBuffer && stress() && !bypass) {
             sm.buffer.push_back({e.loc, e.src0});
         } else {
-            writeToL2(e.loc, e.src0, ts.smId, rng);
+            writeToL2(e.loc, e.src0, ts.smId, cp);
         }
         return;
       }
@@ -852,8 +960,8 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
         } else {
             // On some chips atomics serialise against the SM's
             // pending stores before acting at the L2.
-            if (rng.chance(chip_->atomFlush))
-                drainAll(ts.smId, rng);
+            if (cp.chance(ChoiceKind::AtomFlush, chip_->atomFlush))
+                drainAll(ts.smId, cp);
             // Atomics act at the L2 directly; same-location buffered
             // stores must land first (PTX annuls atomic guarantees
             // when plain stores race, but per-location order holds).
@@ -867,7 +975,7 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
                 }
                 if (!found)
                     break;
-                drainOne(ts.smId, rng, true);
+                drainOne(ts.smId, cp, true);
             }
             cell = &l2_[e.loc];
             old = *cell;
@@ -901,7 +1009,7 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
             if (e.shared) {
                 *cell = new_val;
             } else {
-                writeToL2(e.loc, new_val, ts.smId, rng);
+                writeToL2(e.loc, new_val, ts.smId, cp);
                 ts.wroteLocs |= 1ULL << e.loc;
             }
         }
@@ -911,6 +1019,89 @@ Machine::perform(int tid, const WindowEntry &e, Rng &rng)
         }
         return;
       }
+    }
+}
+
+// ---------------------------------------------------------------------
+// State encoding (model-checker state key)
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+put64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+put8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+} // anonymous namespace
+
+uint64_t
+Machine::executedSignature() const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto &ts : threads_) {
+        h ^= static_cast<uint64_t>(ts.executed);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+Machine::encodeState(std::string &out) const
+{
+    for (const auto &ts : threads_) {
+        put64(out, static_cast<uint64_t>(ts.pc));
+        put8(out, static_cast<uint8_t>(ts.frontDone));
+        put8(out, static_cast<uint8_t>(ts.startDelay));
+        put64(out, ts.pendingRegs);
+        put64(out, ts.wroteLocs);
+        put64(out, ts.regs.size());
+        for (int64_t r : ts.regs)
+            put64(out, static_cast<uint64_t>(r));
+        put64(out, ts.window.size());
+        for (const auto &e : ts.window) {
+            put8(out, static_cast<uint8_t>(e.kind));
+            put8(out, static_cast<uint8_t>(e.op));
+            put8(out, static_cast<uint8_t>(e.cacheOp));
+            put8(out, static_cast<uint8_t>(e.scope));
+            put64(out, static_cast<uint64_t>(e.loc));
+            put8(out, static_cast<uint8_t>(e.shared));
+            put64(out, static_cast<uint64_t>(e.dst));
+            put64(out, static_cast<uint64_t>(e.src0));
+            put64(out, static_cast<uint64_t>(e.src1));
+            put8(out, static_cast<uint8_t>(e.delay));
+        }
+    }
+    for (const auto &sm : sms_) {
+        put64(out, sm.buffer.size());
+        for (const auto &b : sm.buffer) {
+            put64(out, static_cast<uint64_t>(b.loc));
+            put64(out, static_cast<uint64_t>(b.value));
+        }
+        for (const auto &line : sm.l1) {
+            if (!line) {
+                put8(out, 0);
+                continue;
+            }
+            put8(out, static_cast<uint8_t>(
+                          1 | (line->stale ? 2 : 0) |
+                          (line->staleFromOwnSM ? 4 : 0)));
+            put64(out, static_cast<uint64_t>(line->value));
+        }
+    }
+    for (int64_t v : l2_)
+        put64(out, static_cast<uint64_t>(v));
+    for (const auto &mem : sharedMem_) {
+        for (int64_t v : mem)
+            put64(out, static_cast<uint64_t>(v));
     }
 }
 

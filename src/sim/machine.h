@@ -44,6 +44,7 @@
 #include "common/rng.h"
 #include "litmus/test.h"
 #include "sim/chip.h"
+#include "sim/choice.h"
 
 namespace gpulitmus::sim {
 
@@ -90,8 +91,42 @@ class Machine
     Machine(const ChipProfile &chip, const litmus::Test &test,
             MachineOptions opts = {});
 
-    /** One iteration; draws all randomness from rng. */
+    /** One iteration; draws all randomness from rng. Thin wrapper
+     * over run(ChoiceProvider&) with the RngChoice sampler — the
+     * draw sequence is bit-identical to the pre-refactor machine. */
     litmus::FinalState run(Rng &rng);
+
+    /** One iteration; every nondeterministic decision is answered by
+     * the provider (see sim/choice.h). */
+    litmus::FinalState run(ChoiceProvider &choices);
+
+    /**
+     * Append a canonical encoding of the mutable run state (thread
+     * contexts, commit windows, store buffers, L1s, L2, shared
+     * memory) to `out`. Two runs whose encodings match behave
+     * identically under identical future choices — the state key the
+     * model checker dedups on. The per-thread fetch counters are
+     * excluded (they only drive the runaway-loop guard); see
+     * executedSignature() for detecting when that exclusion could
+     * matter.
+     */
+    void encodeState(std::string &out) const;
+
+    /**
+     * Digest of the per-thread fetch counters. For loop-free
+     * programs this is a function of the encoded state; for loops,
+     * two encodeState-equal states with different signatures differ
+     * only in how close they are to the runaway-loop guard — a
+     * searcher deduping them must demote its result from "exact" to
+     * "bounded".
+     */
+    uint64_t executedSignature() const;
+
+    /** Did the last run() hit a step guard (the outer micro-step
+     * bound or a thread's fetch guard)? Guard-truncated executions
+     * end deterministically, so a search that never sees truncation
+     * is exploring the unguarded machine exactly. */
+    bool lastRunTruncated() const { return truncated_; }
 
     const ChipProfile &chip() const { return *chip_; }
 
@@ -183,22 +218,27 @@ class Machine
     COperand compileOperand(const ptx::Operand &op, int tid);
     int locIndexOf(int64_t addr) const;
 
-    void resetRun(Rng &rng);
+    void resetRun(ChoiceProvider &cp);
     bool allDone() const;
-    void threadAction(int tid, Rng &rng);
+    void threadAction(int tid, ChoiceProvider &cp);
     bool issueReady(const ThreadState &ts, const CInstr &in) const;
-    void issueOne(int tid, Rng &rng);
-    void commitOne(int tid, Rng &rng);
+    void issueOne(int tid, ChoiceProvider &cp);
+    void commitOne(int tid, ChoiceProvider &cp);
     double pairPass(const ThreadState &ts, const WindowEntry &older,
                     const WindowEntry &younger) const;
     bool fenceActiveFor(const ThreadState &ts, const WindowEntry &fence,
                         bool target_shared) const;
-    void perform(int tid, const WindowEntry &e, Rng &rng);
-    void drainOne(int sm, Rng &rng, bool in_order_only);
-    void drainAll(int sm, Rng &rng);
-    void writeToL2(int loc, int64_t value, int writer_sm, Rng &rng);
-    int64_t readGlobal(int tid, const WindowEntry &e, Rng &rng);
-    void applyFenceInvalidation(int sm, ptx::Scope scope, Rng &rng);
+    void perform(int tid, const WindowEntry &e, ChoiceProvider &cp);
+    void drainOne(int sm, ChoiceProvider &cp, bool in_order_only);
+    void drainAll(int sm, ChoiceProvider &cp);
+    void writeToL2(int loc, int64_t value, int writer_sm,
+                   ChoiceProvider &cp);
+    int64_t readGlobal(int tid, const WindowEntry &e,
+                       ChoiceProvider &cp);
+    void applyFenceInvalidation(int sm, ptx::Scope scope,
+                                ChoiceProvider &cp);
+    void fillActorTable(int nthreads, const int *drain_sms,
+                        int ndrains);
     litmus::FinalState collectFinalState();
 
     double corrJitterFactor() const;
@@ -220,6 +260,11 @@ class Machine
     std::vector<SmState> sms_;
     std::vector<int64_t> l2_;
     std::vector<std::vector<int64_t>> sharedMem_; ///< per CTA
+    /** Scratch actor table, built per Schedule choice only when the
+     * provider wantsActors() (exhaustive search; never the sampler). */
+    std::vector<ActorOption> actors_;
+    /** Set when a run hits the outer step bound or a fetch guard. */
+    bool truncated_ = false;
 };
 
 } // namespace gpulitmus::sim

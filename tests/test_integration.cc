@@ -30,6 +30,19 @@ const char *kCorpus[] = {
     "lb.litmus",          "lb-membar.ctas.litmus",
     "mp-volatile.litmus", "cas-sl.litmus",
     "mp-deps.litmus",     "corr-l2-l1.litmus",
+    // Generated scoped variants (gpulitmus gen): intra-CTA mp/lb/sb/
+    // coRR/2+2w, inter-CTA 2+2w and wse/rfe chains missing from the
+    // hand corpus, plus the scoped-model signature mp+membar.ctas.
+    "PodWW+Rfe-cta+PodRR+Fre-cta.litmus",
+    "PodRW+Rfe-cta+PodRW+Rfe-cta.litmus",
+    "PodWR+Fre-cta+PodWR+Fre-cta.litmus",
+    "PodWW+Wse-dev+PodWW+Wse-dev.litmus",
+    "PodWW+Wse-cta+PodWW+Wse-cta.litmus",
+    "F.cta-dWW+Rfe-dev+F.cta-dRR+Fre-dev.litmus",
+    "PodWW+Wse-dev+PodWR+Fre-dev.litmus",
+    "Rfe-cta+PosRR+Fre-cta.litmus",
+    "Wse-dev+Rfe-cta+PosRR+Fre-dev.litmus",
+    "Rfe-dev+PosRR+Fre-cta+Wse-dev.litmus",
 };
 
 std::string

@@ -13,23 +13,43 @@
  *                                        herd-style model evaluation
  *   gpulitmus validate <file.litmus...> [--models A,B] [--chips A,B]
  *            [--column 1..16] [--jobs N] [--iterations N]
- *            [--json FILE]               conformance campaign: run the
+ *            [--exact] [--budget N] [--json FILE]
+ *                                        conformance campaign: run the
  *                                        tests on the simulator AND
  *                                        through the models, join the
- *                                        verdicts (Sec. 5.4)
+ *                                        verdicts (Sec. 5.4); --exact
+ *                                        adds an exhaustive
+ *                                        exploration per cell so
+ *                                        imprecise verdicts upgrade
+ *   gpulitmus explore <file.litmus...> [--chips A,B|all]
+ *            [--column 1..16] [--budget N] [--jobs N] [--models A,B]
+ *            [--json FILE]               exhaustive schedule
+ *                                        exploration (stateless model
+ *                                        checking with DPOR): the
+ *                                        exact reachable final-state
+ *                                        set per (chip, test), joined
+ *                                        against the models
  *   gpulitmus show <file.litmus>         parse and pretty-print
  *   gpulitmus sass <file.litmus> [-O N] [--sdk V] [--maxwell]
  *                                        assemble + optcheck
  *   gpulitmus generate [--max-edges N] [--max-tests N]
  *                                        diy-style test generation
+ *                                        (stdout)
+ *   gpulitmus gen --out DIR [--max-edges N] [--max-tests N]
+ *            [--min-edges N] [--no-scopes] [--no-deps]
+ *                                        write the generated corpus
+ *                                        to .litmus files (cycle
+ *                                        name, scope tree and final
+ *                                        condition included)
  *   gpulitmus chips                      list the chip registry
  *   gpulitmus models                     list the built-in models
  *
  * Exit status: 0 on success, 1 on usage/parse errors, 2 when a check
  * fails (optcheck violation, ~exists condition observed, or an
- * unsound validate cell).
+ * unsound validate/explore cell).
  */
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -365,7 +385,7 @@ cmdValidate(const Args &args)
         std::cerr << "usage: gpulitmus validate <file.litmus...>"
                      " [--models A,B] [--chips A,B] [--column 1..16]"
                      " [--jobs N] [--iterations N] [--seed S]"
-                     " [--json FILE]\n";
+                     " [--exact] [--budget N] [--json FILE]\n";
         return 1;
     }
 
@@ -450,6 +470,16 @@ cmdValidate(const Args &args)
                 harness::Job::fromConfig(chip, *to_run, cfg);
             sim_job.label = test.name;
             campaign.add(sim_job);
+            if (args.has("exact")) {
+                // One exhaustive exploration per simulated cell, so
+                // the conformance join can upgrade imprecise
+                // verdicts to rare/unreachable.
+                harness::Job mc_job = sim_job;
+                mc_job.backend = harness::kMcBackend;
+                mc_job.iterations = static_cast<uint64_t>(
+                    args.getInt("budget", 1 << 20));
+                campaign.add(std::move(mc_job));
+            }
             for (const auto &model : models) {
                 harness::Job model_job = sim_job;
                 model_job.backend = model;
@@ -498,27 +528,42 @@ cmdValidate(const Args &args)
 
     conformance.summary().print(std::cout);
     const auto &cells = conformance.cells();
-    size_t sound = 0, unsound = 0, imprecise = 0;
+    size_t unsound = 0;
     for (const auto &cell : cells) {
-        switch (cell.kind) {
-          case eval::Conformance::Sound: ++sound; continue;
-          case eval::Conformance::Imprecise: ++imprecise; continue;
-          case eval::Conformance::Unsound: ++unsound; break;
+        if (cell.kind == eval::Conformance::Unsound) {
+            ++unsound;
+            std::cout << "UNSOUND: " << cell.test << " on "
+                      << cell.chip << " (column " << cell.column
+                      << ", model " << cell.model
+                      << "): observed-but-forbidden";
+            for (const auto &key : cell.violations)
+                std::cout << " '" << key << "'";
+            std::cout << "\n";
         }
-        std::cout << "UNSOUND: " << cell.test << " on " << cell.chip
-                  << " (column " << cell.column << ", model "
-                  << cell.model << "): observed-but-forbidden";
-        for (const auto &key : cell.violations)
-            std::cout << " '" << key << "'";
-        std::cout << "\n";
+        for (const auto &key : cell.inconsistent)
+            std::cout << "INCONSISTENT: " << cell.test << " on "
+                      << cell.chip << ": sampled '" << key
+                      << "' escaped the exhaustive exploration\n";
     }
     for (const auto &cell : skipped)
         std::cout << cell << ": miscompiled (n/a)\n";
 
-    std::cout << "\n" << cells.size() << " cells: " << sound
-              << " sound, " << unsound << " unsound, " << imprecise
-              << " imprecise\n";
+    std::cout << "\n" << cells.size() << " cells: "
+              << conformance.soundCells() << " sound, " << unsound
+              << " unsound, " << conformance.impreciseCells()
+              << " imprecise";
+    if (args.has("exact")) {
+        std::cout << ", " << conformance.rareCells() << " rare, "
+                  << conformance.unreachableCells()
+                  << " unreachable, " << conformance.boundedCells()
+                  << " bounded";
+    }
+    std::cout << "\n";
 
+    // An explorer/simulator divergence is as fatal as unsoundness:
+    // the tool's own invariant (sampled outcomes stay inside the
+    // exact set) failed, so nothing it printed can be trusted.
+    bool failed = unsound > 0 || conformance.inconsistentCells() > 0;
     if (args.has("json")) {
         std::string path = args.get("json", "validate.json");
         if (path == "true") // bare --json
@@ -527,9 +572,187 @@ cmdValidate(const Args &args)
             std::cerr << "error: cannot write '" << path << "'\n";
             // An unsound model still outranks the IO error: exit 2
             // is the documented signal CI keys on.
-            return unsound > 0 ? 2 : 1;
+            return failed ? 2 : 1;
         }
         std::cout << "wrote " << path << "\n";
+    }
+    return failed ? 2 : 0;
+}
+
+/**
+ * Stateless model checking of the corpus: one exhaustive exploration
+ * per (test, chip) cell, printing the exact reachable final-state
+ * set, then the conformance join against the requested models. A
+ * reachable-but-forbidden state is a definitive unsoundness (exit 2);
+ * an allowed-but-unreachable one is definitive model slack.
+ */
+int
+cmdExplore(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus explore <file.litmus...>"
+                     " [--chips A,B|all] [--column 1..16]"
+                     " [--budget N] [--jobs N] [--models A,B|none]"
+                     " [--json FILE]\n";
+        return 1;
+    }
+
+    std::vector<sim::ChipProfile> chips;
+    std::string chips_arg = args.get("chips", "Titan");
+    if (chips_arg == "all") {
+        chips = sim::allChips();
+    } else {
+        for (const auto &name : split(chips_arg, ','))
+            chips.push_back(sim::chip(trim(name)));
+    }
+
+    std::vector<std::string> models;
+    std::string models_arg = args.get("models", "ptx");
+    if (models_arg != "none") {
+        for (const auto &name : split(models_arg, ',')) {
+            std::string id = trim(name);
+            if (!modelBackendByName(id))
+                return 1;
+            models.push_back(id);
+        }
+    }
+
+    int column = static_cast<int>(args.getInt("column", 16));
+    harness::RunConfig cfg;
+    cfg.inc = sim::Incantations::fromColumn(column);
+    cfg.iterations =
+        static_cast<uint64_t>(args.getInt("budget", 1 << 20));
+
+    harness::Campaign campaign;
+    std::vector<std::string> skipped;
+    size_t out_of_scope = 0;
+    for (const auto &path : args.positional) {
+        auto test = loadTest(path);
+        if (!test)
+            return 1;
+        // Out-of-scope tests (.ca/volatile, Sec. 5.5) still explore —
+        // the reachable set is a property of the machine — but skip
+        // the model join, exactly as `validate` skips them.
+        bool in_scope = model::inModelScope(*test);
+        if (!in_scope)
+            ++out_of_scope;
+        for (const auto &chip : chips) {
+            std::vector<std::string> quirks;
+            auto to_run = eval::compileForChip(*test, chip, &quirks);
+            for (const auto &q : quirks)
+                std::cerr << "compile note (" << chip.shortName
+                          << "): " << q << "\n";
+            if (!to_run) {
+                skipped.push_back(test->name + " on " +
+                                  chip.shortName);
+                continue;
+            }
+            harness::Job mc_job =
+                harness::Job::fromConfig(chip, *to_run, cfg);
+            mc_job.backend = harness::kMcBackend;
+            mc_job.label = test->name;
+            campaign.add(mc_job);
+            if (in_scope) {
+                for (const auto &model : models) {
+                    harness::Job model_job = mc_job;
+                    model_job.backend = model;
+                    campaign.add(std::move(model_job));
+                }
+            }
+        }
+    }
+
+    auto jobs = campaign.jobs();
+    if (jobs.empty()) {
+        std::cerr << "error: nothing to explore — every cell was"
+                     " miscompiled:\n";
+        for (const auto &cell : skipped)
+            std::cerr << "  " << cell << "\n";
+        return 1;
+    }
+
+    eval::EngineOptions eopts;
+    eopts.threads = static_cast<int>(args.getInt("jobs", 0));
+    eval::Engine engine(eopts);
+
+    std::cout << "explore: " << args.positional.size() << " tests";
+    if (out_of_scope > 0)
+        std::cout << " (" << out_of_scope
+                  << " outside the model scope)";
+    std::cout << ", " << chips.size() << " chips, budget "
+              << cfg.iterations << " replays/cell, column " << column
+              << ", models "
+              << (models.empty() ? std::string("none")
+                                 : join(models, ","))
+              << ", " << engine.threads() << " worker threads\n\n";
+
+    eval::ConformanceSink conformance;
+    eval::JsonSink json;
+    std::vector<eval::EvalSink *> sinks{&conformance};
+    if (args.has("json"))
+        sinks.push_back(&json);
+    auto progress = [](size_t done, size_t total,
+                       const eval::EvalResult &) {
+        if (done % 10 == 0 || done == total)
+            std::cerr << "  computed " << done << "/" << total
+                      << " jobs\r";
+    };
+    auto results = engine.run(jobs, sinks, progress);
+    std::cerr << "\n";
+
+    size_t bounded = 0;
+    for (const auto &r : results) {
+        if (!r.hasExact() || r.fromCache)
+            continue;
+        const mc::ExploreResult &x = *r.exact;
+        if (!x.complete)
+            ++bounded;
+        std::cout << r.label() << "@" << x.chipName << " (column "
+                  << x.column << "): " << x.finals.size()
+                  << " reachable states, "
+                  << (x.complete ? "complete" : "BOUNDED") << ", "
+                  << x.stats.replays << " replays, "
+                  << x.stats.distinctStates << " states, "
+                  << x.stats.sleepSkips << " sleep skips\n";
+        for (const auto &[key, weight] : x.finals) {
+            std::cout << "    " << weight << "  " << key
+                      << (x.satisfying.count(key) ? "  *" : "")
+                      << "\n";
+        }
+    }
+
+    size_t unsound = 0;
+    if (!models.empty()) {
+        std::cout << "\n";
+        conformance.summary().print(std::cout);
+        for (const auto &cell : conformance.cells()) {
+            if (cell.kind != eval::Conformance::Unsound)
+                continue;
+            ++unsound;
+            std::cout << "UNSOUND: " << cell.test << " on "
+                      << cell.chip << " (model " << cell.model
+                      << "): reachable-but-forbidden";
+            for (const auto &key : cell.violations)
+                std::cout << " '" << key << "'";
+            std::cout << "\n";
+        }
+    }
+    for (const auto &cell : skipped)
+        std::cout << cell << ": miscompiled (n/a)\n";
+    if (bounded > 0)
+        std::cout << bounded << " cells hit the budget (bounded"
+                     " verdicts); raise --budget for exact sets\n";
+
+    if (args.has("json")) {
+        std::string path = args.get("json", "explore.json");
+        if (path == "true") // bare --json
+            path = "explore.json";
+        if (!json.writeFile(path)) {
+            std::cerr << "error: cannot write '" << path << "'\n";
+            return unsound > 0 ? 2 : 1;
+        }
+        std::cout << "wrote " << path << " (" << json.size()
+                  << " cells)\n";
     }
     return unsound > 0 ? 2 : 0;
 }
@@ -586,6 +809,68 @@ cmdGenerate(const Args &args)
     return 0;
 }
 
+/** File-system-safe name for a generated cycle: spaces join with '+'
+ * (diy style); anything else unusual becomes '_'. */
+std::string
+cycleFileName(const std::string &cycle)
+{
+    std::string out;
+    for (char c : cycle) {
+        if (c == ' ')
+            out += '+';
+        else if (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '.' || c == '-' || c == '+' || c == '_')
+            out += c;
+        else
+            out += '_';
+    }
+    return out;
+}
+
+/**
+ * The generated corpus as files: every cycle the generator closes
+ * becomes DIR/<cycle>.litmus — cycle name (header + comment), scope
+ * tree and final condition included — ready for `sweep`, `validate`
+ * and `explore`.
+ */
+int
+cmdGen(const Args &args)
+{
+    std::string out_dir = args.get("out", "generated-tests");
+    gen::GeneratorOptions opts;
+    opts.minEdges = static_cast<int>(args.getInt("min-edges", 3));
+    opts.maxEdges = static_cast<int>(args.getInt("max-edges", 4));
+    opts.maxTests =
+        static_cast<size_t>(args.getInt("max-tests", 50));
+    bool scopes = !args.has("no-scopes");
+    bool deps = !args.has("no-deps");
+    auto tests = gen::generate(gen::defaultPool(scopes, deps), opts);
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+        std::cerr << "error: cannot create '" << out_dir
+                  << "': " << ec.message() << "\n";
+        return 1;
+    }
+
+    size_t written = 0;
+    for (const auto &g : tests) {
+        std::string path =
+            out_dir + "/" + cycleFileName(g.cycleName) + ".litmus";
+        std::ofstream f(path);
+        if (!f) {
+            std::cerr << "error: cannot write '" << path << "'\n";
+            return 1;
+        }
+        f << "(* cycle: " << g.cycleName << " *)\n" << g.test.str();
+        ++written;
+        std::cout << path << "\n";
+    }
+    std::cerr << written << " tests written to " << out_dir << "\n";
+    return 0;
+}
+
 int
 cmdChips()
 {
@@ -622,8 +907,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr
             << "usage: gpulitmus"
-               " <run|sweep|check|validate|show|sass|generate|chips|"
-               "models> ...\n";
+               " <run|sweep|check|validate|explore|show|sass|"
+               "generate|gen|chips|models> ...\n";
         return 1;
     }
     std::string cmd = argv[1];
@@ -636,12 +921,16 @@ main(int argc, char **argv)
         return cmdCheck(args);
     if (cmd == "validate")
         return cmdValidate(args);
+    if (cmd == "explore")
+        return cmdExplore(args);
     if (cmd == "show")
         return cmdShow(args);
     if (cmd == "sass")
         return cmdSass(args);
     if (cmd == "generate")
         return cmdGenerate(args);
+    if (cmd == "gen")
+        return cmdGen(args);
     if (cmd == "chips")
         return cmdChips();
     if (cmd == "models")
