@@ -107,11 +107,13 @@ main()
     }
     table.print(std::cout);
 
-    if (writeJsonArrayFile("BENCH_backends.json", entries)) {
-        std::cout << "\nwrote BENCH_backends.json ("
-                  << entries.size() << " backends)\n";
-    } else {
-        std::cerr << "warning: could not write BENCH_backends.json\n";
+    if (!writeJsonArrayFile("BENCH_backends.json", entries)) {
+        // Exit nonzero so CI artifact upload cannot silently skip
+        // the file.
+        std::cerr << "error: could not write BENCH_backends.json\n";
+        return 1;
     }
+    std::cout << "\nwrote BENCH_backends.json (" << entries.size()
+              << " backends)\n";
     return 0;
 }

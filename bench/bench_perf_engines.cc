@@ -131,7 +131,7 @@ BENCHMARK(BM_CampaignTab6Grid)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
  * a JsonSink, with per-cell wall-clock and observation counts, so the
  * perf trajectory of the campaign engine is tracked run over run.
  */
-void
+bool
 emitCampaignJson()
 {
     harness::Campaign campaign;
@@ -143,12 +143,15 @@ emitCampaignJson()
     harness::JsonSink json;
     harness::Engine engine;
     campaign.run(engine, {&json});
-    if (json.writeFile("BENCH_campaign.json")) {
-        std::cerr << "wrote BENCH_campaign.json (" << json.size()
-                  << " cells, " << engine.threads() << " workers)\n";
-    } else {
-        std::cerr << "warning: could not write BENCH_campaign.json\n";
+    if (!json.writeFile("BENCH_campaign.json")) {
+        // Propagate failure so CI artifact upload cannot silently
+        // skip the file.
+        std::cerr << "error: could not write BENCH_campaign.json\n";
+        return false;
     }
+    std::cerr << "wrote BENCH_campaign.json (" << json.size()
+              << " cells, " << engine.threads() << " workers)\n";
+    return true;
 }
 
 } // namespace
@@ -168,7 +171,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    if (!list_only)
-        emitCampaignJson();
+    if (!list_only && !emitCampaignJson())
+        return 1;
     return 0;
 }

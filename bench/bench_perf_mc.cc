@@ -143,11 +143,13 @@ main()
     }
     table.print(std::cout);
 
-    if (writeJsonArrayFile("BENCH_mc.json", entries)) {
-        std::cout << "\nwrote BENCH_mc.json (" << entries.size()
-                  << " tests)\n";
-    } else {
-        std::cerr << "warning: could not write BENCH_mc.json\n";
+    if (!writeJsonArrayFile("BENCH_mc.json", entries)) {
+        // Exit nonzero so CI artifact upload cannot silently skip
+        // the file.
+        std::cerr << "error: could not write BENCH_mc.json\n";
+        return 1;
     }
+    std::cout << "\nwrote BENCH_mc.json (" << entries.size()
+              << " tests)\n";
     return 0;
 }

@@ -1,6 +1,7 @@
 #include "eval/backend.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <ostream>
@@ -39,6 +40,21 @@ McBackend::optionsFor(const EvalJob &job)
     opts.machine.inc = job.inc;
     opts.machine.maxMicroSteps = job.maxMicroSteps;
     opts.maxReplays = job.iterations;
+    // Forensic knobs (mc/explorer.h): GPULITMUS_MC_DEBUG_KEYS=1
+    // switches the state cache back to the PR-3 string keys (slow,
+    // collision-free; diff against a digest-keyed run to implicate a
+    // digest collision), GPULITMUS_MC_NO_CHECKPOINTS=1
+    // disables snapshot resume (replays run from the root). Neither
+    // changes any result — determinism tests pin that — so they are
+    // deliberately excluded from job cache keys.
+    auto envSet = [](const char *name) {
+        const char *v = std::getenv(name);
+        return v && *v && *v != '0';
+    };
+    if (envSet("GPULITMUS_MC_DEBUG_KEYS"))
+        opts.debugStateKeys = true;
+    if (envSet("GPULITMUS_MC_NO_CHECKPOINTS"))
+        opts.checkpoints = false;
     return opts;
 }
 

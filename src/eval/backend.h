@@ -25,6 +25,20 @@
  *   verdicts per (chip, test, incantation) cell and classifies each
  *   as sound, unsound (observed-but-forbidden) or imprecise
  *   (allowed-never-observed) — the Sec. 5.4 table as one campaign.
+ *   Exact (mc) results join too and upgrade imprecise cells to
+ *   rare/unreachable/bounded; the full verdict lattice and the
+ *   exact-vs-sampled evidence semantics are documented in
+ *   docs/VERDICTS.md.
+ *
+ * Engine notes: SimBackend rides the pooled per-thread machine cache
+ * in harness::runJob (one compiled machine per (chip, test) pair,
+ * re-parameterised per job), and McBackend's explorer checkpoints
+ * and digest-keys its search (mc/explorer.h) — both pure wall-clock
+ * machinery whose results are bit-identical to recomputation, so
+ * cache identities never observe them. The GPULITMUS_MC_DEBUG_KEYS /
+ * GPULITMUS_MC_NO_CHECKPOINTS environment knobs (McBackend::
+ * optionsFor) switch the explorer back to the PR-3 code paths for
+ * forensic cross-checks.
  */
 
 #ifndef GPULITMUS_EVAL_BACKEND_H

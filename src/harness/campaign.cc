@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 
 #include "common/log.h"
 #include "common/strutil.h"
@@ -111,6 +113,69 @@ Job::displayLabel() const
     return test.name + "#" + backend;
 }
 
+namespace {
+
+/**
+ * Per-thread cache of compiled machines, keyed by (chip, test text).
+ * A sweep grid revisits the same (chip, test) under many incantation
+ * columns and iteration counts; the compiled program depends on
+ * neither, so one machine per pair serves the whole batch — each job
+ * re-parameterises it via Machine::setOptions and runs. Entries own
+ * copies of the chip profile and the test (the machine holds
+ * references into its entry), so cached machines outlive the jobs
+ * that created them. thread_local keeps workers lock-free and the
+ * mutable run state un-shared.
+ */
+struct CachedMachine
+{
+    sim::ChipProfile chip;
+    litmus::Test test;
+    std::string chipName; ///< collision guard alongside the test text
+    std::string text;
+    std::optional<sim::Machine> machine;
+};
+
+sim::Machine &
+machineFor(const Job &job)
+{
+    constexpr size_t kMaxEntries = 64;
+    thread_local std::unordered_map<uint64_t,
+                                    std::unique_ptr<CachedMachine>>
+        cache;
+
+    std::string text = job.test.str();
+    uint64_t key = splitmix64(fnv1a(job.chip.shortName)) ^
+                   fnv1a(text);
+    auto it = cache.find(key);
+    if (it != cache.end() &&
+        (it->second->chipName != job.chip.shortName ||
+         it->second->text != text)) {
+        // 64-bit key collision (astronomically rare): evict rather
+        // than risk simulating the wrong machine.
+        cache.erase(it);
+        it = cache.end();
+    }
+    if (it == cache.end()) {
+        if (cache.size() >= kMaxEntries)
+            cache.clear();
+        auto entry = std::make_unique<CachedMachine>();
+        entry->chip = job.chip;
+        entry->test = job.test;
+        entry->chipName = job.chip.shortName;
+        entry->text = std::move(text);
+        entry->machine.emplace(entry->chip, entry->test,
+                               sim::MachineOptions{});
+        it = cache.emplace(key, std::move(entry)).first;
+    }
+    sim::MachineOptions opts;
+    opts.inc = job.inc;
+    opts.maxMicroSteps = job.maxMicroSteps;
+    it->second->machine->setOptions(opts);
+    return *it->second->machine;
+}
+
+} // namespace
+
 JobResult
 runJob(Job job)
 {
@@ -123,10 +188,11 @@ runJob(Job job)
 
     JobResult result{owned, litmus::Histogram(owned->test)};
 
-    sim::MachineOptions opts;
-    opts.inc = owned->inc;
-    opts.maxMicroSteps = owned->maxMicroSteps;
-    sim::Machine machine(owned->chip, owned->test, opts);
+    // One compiled machine per (chip, test) per worker thread; the
+    // job only re-parameterises the runtime options. Bit-identical
+    // to compiling fresh: the compiled program is a pure function of
+    // the test, and every run draws only from the job-derived RNG.
+    sim::Machine &machine = machineFor(*owned);
     Rng rng(owned->derivedSeed());
 
     auto start = std::chrono::steady_clock::now();

@@ -19,6 +19,14 @@
  * The Engine memoises results in an in-process cache keyed by job
  * hash, so a sweep that revisits a cell (as the Tab. 2 summary does)
  * computes it once.
+ *
+ * runJob additionally keeps one *compiled machine* per (chip, test)
+ * pair per worker thread: the compiled program depends on neither
+ * the incantation column nor the iteration count, so a grid that
+ * sweeps 16 columns re-parameterises one machine (Machine::
+ * setOptions) instead of recompiling sixteen times. Bit-identical to
+ * recomputation — the RNG stream is derived from the job key, never
+ * from machine identity.
  */
 
 #ifndef GPULITMUS_HARNESS_CAMPAIGN_H

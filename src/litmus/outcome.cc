@@ -1,5 +1,7 @@
 #include "litmus/outcome.h"
 
+#include <cstdio>
+
 #include "common/log.h"
 
 namespace gpulitmus::litmus {
@@ -13,13 +15,29 @@ Histogram::Histogram(const Test &test)
 std::string
 Histogram::keyFor(const FinalState &state) const
 {
+    // Hot path for both the sampling harness (once per iteration) and
+    // the explorer (once per leaf): append in place, no temporaries.
     std::string key;
+    key.reserve(16 * (regs_.size() + locs_.size()));
+    char buf[24];
+    auto append_int = [&](int64_t v) {
+        key.append(buf, static_cast<size_t>(std::snprintf(
+                            buf, sizeof buf, "%lld",
+                            static_cast<long long>(v))));
+    };
     for (const auto &[tid, reg] : regs_) {
-        key += std::to_string(tid) + ":" + reg + "=" +
-               std::to_string(state.reg(tid, reg)) + "; ";
+        append_int(tid);
+        key += ':';
+        key += reg;
+        key += '=';
+        append_int(state.reg(tid, reg));
+        key += "; ";
     }
     for (const auto &loc : locs_) {
-        key += loc + "=" + std::to_string(state.loc(loc)) + "; ";
+        key += loc;
+        key += '=';
+        append_int(state.loc(loc));
+        key += "; ";
     }
     if (!key.empty())
         key.resize(key.size() - 1); // drop trailing space

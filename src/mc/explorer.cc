@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/log.h"
 #include "litmus/outcome.h"
 
@@ -12,10 +13,56 @@ namespace gpulitmus::mc {
 
 namespace {
 
-using ReachMap = std::map<std::string, uint64_t>;
+/**
+ * Outcome-key weights, indexed by interned outcome id. The search
+ * folds reachability counts up the spine on every cut and pop;
+ * keeping them as flat integer vectors (the interner owns the one
+ * copy of each outcome string) makes that folding allocation-free
+ * arithmetic instead of string-keyed map merges. Ids are dense and
+ * few (a litmus test has a handful of distinct outcomes), so the
+ * vectors stay tiny.
+ */
+using Weights = std::vector<uint64_t>;
+
+void
+foldWeights(Weights &dst, const Weights &src)
+{
+    if (dst.size() < src.size())
+        dst.resize(src.size(), 0);
+    for (size_t i = 0; i < src.size(); ++i)
+        dst[i] += src[i];
+}
+
+void
+bumpWeight(Weights &dst, uint32_t id)
+{
+    if (dst.size() <= id)
+        dst.resize(id + 1, 0);
+    ++dst[id];
+}
+
+/** Outcome-string interner: one stored string per distinct outcome,
+ * dense ids for the hot-path accounting. */
+struct KeyInterner
+{
+    std::unordered_map<std::string, uint32_t> ids;
+    std::vector<const std::string *> names; ///< id -> stored key
+
+    uint32_t
+    intern(std::string &&key)
+    {
+        auto [it, fresh] = ids.emplace(
+            std::move(key), static_cast<uint32_t>(names.size()));
+        if (fresh)
+            names.push_back(&it->first);
+        return it->second;
+    }
+};
 
 /** One materialised node of the choice tree (a position in the
- * current DFS trace). */
+ * current DFS trace). Node slots are pooled: the trace vector never
+ * shrinks, popped slots are reset and reused, so the per-replay push/
+ * pop churn allocates nothing once the containers are warm. */
 struct Node
 {
     sim::ChoiceKind kind = sim::ChoiceKind::Schedule;
@@ -25,8 +72,16 @@ struct Node
     std::vector<uint32_t> pending;
 
     bool isSchedule = false;
-    /** (state, sleep) cache key; empty when caching is off. */
-    std::string stateKey;
+    /** State-cache key; valid when hasKey (caching on). `key` is the
+     * (state, sleep) digest — or, in debug mode, `stringKey` is the
+     * full encoding and `key` is unused. */
+    bool hasKey = false;
+    Digest128 key;
+    std::string stringKey;
+    /** Machine checkpoint at this schedule point; valid when
+     * hasSnap (checkpointing on). */
+    bool hasSnap = false;
+    sim::Machine::Snapshot snap;
     /** Sleeping actor ids at node entry (indexed by actor id). */
     std::vector<uint8_t> sleepIn;
     /** Actor table snapshot (schedule nodes only). */
@@ -35,30 +90,41 @@ struct Node
     std::vector<int> doneIds;
 
     /** Reachable finals accumulated across this node's subtree. */
-    ReachMap finals;
+    Weights finals;
     /** Shallowest trace depth a grey cut in this subtree escaped to
      * (SIZE_MAX: none) — the Tarjan-style completeness watermark. */
     size_t taint = SIZE_MAX;
+
+    void
+    reset(sim::ChoiceKind k, uint32_t n)
+    {
+        kind = k;
+        arity = n;
+        chosen = 0;
+        pending.clear();
+        isSchedule = false;
+        hasKey = false;
+        stringKey.clear();
+        hasSnap = false;
+        sleepIn.clear();
+        actors.clear();
+        doneIds.clear();
+        finals.clear();
+        taint = SIZE_MAX;
+    }
 };
 
 struct VisitEntry
 {
     bool black = false; ///< subtree fully explored; finals memoised
     size_t greyDepth = 0;
-    /** Fetch-counter digest at the visit. encodeState excludes the
-     * counters (they only feed the runaway-loop guard), so a revisit
-     * whose digest differs is equal in behaviour *except* for its
-     * distance to that guard: the cut still terminates the search,
-     * but the result demotes from exact to bounded. */
+    /** Fetch-counter digest at the visit. The state encoding excludes
+     * the counters (they only feed the runaway-loop guard), so a
+     * revisit whose digest differs is equal in behaviour *except* for
+     * its distance to that guard: the cut still terminates the
+     * search, but the result demotes from exact to bounded. */
     uint64_t executedSig = 0;
-    ReachMap finals;
-};
-
-/** Thrown to abandon a replay whose continuation is already known. */
-struct Cut
-{
-    ReachMap finals;  ///< memoised contribution (empty for grey cuts)
-    size_t taintDepth; ///< grey ancestor depth, SIZE_MAX for black
+    Weights finals;
 };
 
 } // anonymous namespace
@@ -74,16 +140,42 @@ struct Explorer::Impl final : sim::ChoiceProvider
     sim::Machine machine;
     litmus::Histogram keyer; ///< outcome-key renderer only
 
+    /** Pooled node slots; the live DFS spine is trace[0..traceLen). */
     std::vector<Node> trace;
-    ReachMap rootFinals;
-    std::set<std::string> satisfying;
-    std::unordered_map<std::string, VisitEntry> visited;
+    size_t traceLen = 0;
+    Weights rootFinals;
+    KeyInterner interner;
+    std::vector<uint8_t> satFlags; ///< by outcome id
+    /** Leaf memo: final-state digest -> interned outcome id. Repeat
+     * outcomes (the overwhelming majority of leaves) skip the
+     * final-state materialisation, key rendering and condition
+     * evaluation entirely. Unused in debug mode, which collects
+     * every leaf the PR-3 way. */
+    std::unordered_map<Digest128, uint32_t, Digest128::Hasher>
+        outcomeIds;
+    /** The state memo. Digest-keyed on the fast path; string-keyed
+     * (the PR-3 scheme, kept for cross-checking) in debug mode. Only
+     * the map matching opts.debugStateKeys is ever populated. */
+    std::unordered_map<Digest128, VisitEntry, Digest128::Hasher>
+        visited;
+    std::unordered_map<std::string, VisitEntry> visitedStr;
     ExploreStats stats;
+
+    /** Pending cut, set by pickActor when it aborts a replay whose
+     * continuation is memoised (exception-free: the machine returns
+     * out of the run on the kAbortRun sentinel). `cutMemo` points at
+     * the visited entry's finals — stable until the next map
+     * mutation, consumed immediately after the run returns. */
+    bool cutPending = false;
+    const Weights *cutMemo = nullptr;
+    size_t cutTaint = SIZE_MAX;
 
     size_t depth = 0; ///< next choice index within the current replay
     size_t nIds = 0;  ///< actor-id space: threads + SM drain actors
     std::vector<uint8_t> curSleep;
-    std::string scratch;
+    std::string scratch;            ///< debug-mode string encoding
+    std::vector<uint32_t> candsScratch;
+    std::vector<uint8_t> sleepScratch;
     /** A step guard fired, or a state cut merged states at different
      * distances to one: the result is a sound lower bound, but
      * "exact" can no longer be claimed. */
@@ -96,14 +188,26 @@ struct Explorer::Impl final : sim::ChoiceProvider
         nIds = static_cast<size_t>(t.program.numThreads()) +
                static_cast<size_t>(chip.numSMs);
         curSleep.assign(nIds, 0);
+        visited.reserve(1u << 12);
+    }
+
+    Node &
+    pushNode(sim::ChoiceKind kind, uint32_t arity)
+    {
+        if (traceLen == trace.size())
+            trace.emplace_back();
+        Node &node = trace[traceLen++];
+        node.reset(kind, arity);
+        stats.peakDepth = std::max(stats.peakDepth, traceLen);
+        return node;
     }
 
     // ---- ChoiceProvider ---------------------------------------------
 
     /** The actor table only matters when the upcoming schedule point
-     * materialises a fresh node; replayed prefixes (the bulk of the
-     * search) use their stored snapshot, so skip the build. */
-    bool wantsActors() const override { return depth >= trace.size(); }
+     * materialises a fresh node; replayed prefixes use their stored
+     * snapshot, so skip the build. */
+    bool wantsActors() const override { return depth >= traceLen; }
     int delayBump() override { return 0; }
 
     uint64_t
@@ -139,77 +243,101 @@ struct Explorer::Impl final : sim::ChoiceProvider
     takeSimple(sim::ChoiceKind kind, uint32_t arity)
     {
         size_t d = depth++;
-        if (d < trace.size()) {
+        if (d < traceLen) {
             const Node &node = trace[d];
             if (node.kind != kind || node.isSchedule)
                 panic("mc replay diverged at depth %zu: expected %s,"
                       " machine asked %s",
                       d, sim::toString(node.kind),
                       sim::toString(kind));
+            ++stats.replayedChoices;
             return node.chosen;
         }
         ++stats.choicePoints;
-        Node node;
-        node.kind = kind;
-        node.arity = arity;
-        node.chosen = 0;
+        Node &node = pushNode(kind, arity);
         node.pending.reserve(arity - 1);
         for (uint32_t v = 1; v < arity; ++v)
             node.pending.push_back(v);
-        trace.push_back(std::move(node));
-        stats.peakDepth = std::max(stats.peakDepth, trace.size());
         return 0;
+    }
+
+    /** Abandon the current replay: record the cut for explore() and
+     * hand the machine the abort sentinel. */
+    size_t
+    cutRun(const Weights *memo, size_t taint_depth)
+    {
+        cutPending = true;
+        cutMemo = memo;
+        cutTaint = taint_depth;
+        return sim::ChoiceProvider::kAbortRun;
     }
 
     size_t
     pickActor(const sim::ActorOption *actors, size_t n) override
     {
         size_t d = depth++;
-        if (d < trace.size()) {
+        if (d < traceLen) {
             Node &node = trace[d];
             if (!node.isSchedule)
                 panic("mc replay diverged at depth %zu: stored %s,"
                       " machine asked schedule",
                       d, sim::toString(node.kind));
+            ++stats.replayedChoices;
             updateSleepAfter(node);
             return node.chosen;
         }
         ++stats.choicePoints;
-        Node node;
-        node.kind = sim::ChoiceKind::Schedule;
-        node.isSchedule = true;
-        node.arity = static_cast<uint32_t>(n);
-        node.actors.assign(actors, actors + n);
-        node.sleepIn = curSleep;
 
+        Digest128 key{};
+        bool has_key = false;
         if (opts.stateCache) {
-            scratch.clear();
-            machine.encodeState(scratch);
-            if (opts.sleepSets) {
-                // Sleep sets change which subtrees get explored, so
-                // cache hits are only sound between points with the
-                // same sleep discipline: key on the pair.
-                scratch.append(curSleep.begin(), curSleep.end());
-            }
+            // Sleep sets change which subtrees get explored, so
+            // cache hits are only sound between points with the same
+            // sleep discipline: the key covers the (state, sleep)
+            // pair. Fast path: stream the state into a 128-bit
+            // digest, no string materialised. Debug path: the PR-3
+            // string key, byte for byte.
             uint64_t sig = machine.executedSignature();
-            auto it = visited.find(scratch);
-            if (it != visited.end()) {
+            VisitEntry *hit = nullptr;
+            if (opts.debugStateKeys) {
+                scratch.clear();
+                machine.encodeState(scratch);
+                if (opts.sleepSets)
+                    scratch.append(curSleep.begin(), curSleep.end());
+                auto it = visitedStr.find(scratch);
+                if (it != visitedStr.end())
+                    hit = &it->second;
+            } else {
+                Hash128 h;
+                machine.hashState(h);
+                if (opts.sleepSets)
+                    h.putBytes(curSleep.data(), curSleep.size());
+                key = h.digest();
+                auto it = visited.find(key);
+                if (it != visited.end())
+                    hit = &it->second;
+            }
+            if (hit) {
                 ++stats.stateCuts;
                 // Equal state, different fetch counters (a loop):
                 // the continuations differ only in the runaway
                 // guard's distance, so cut — the search terminates —
                 // but the exactness claim is gone.
-                if (it->second.executedSig != sig)
+                if (hit->executedSig != sig)
                     guardSensitive = true;
-                if (it->second.black)
-                    throw Cut{it->second.finals, SIZE_MAX};
-                throw Cut{{}, it->second.greyDepth};
+                if (hit->black)
+                    return cutRun(&hit->finals, SIZE_MAX);
+                return cutRun(nullptr, hit->greyDepth);
             }
-            node.stateKey = scratch;
-            visited.emplace(scratch, VisitEntry{false, d, sig, {}});
+            if (opts.debugStateKeys)
+                visitedStr.emplace(scratch,
+                                   VisitEntry{false, d, sig, {}});
+            else
+                visited.emplace(key, VisitEntry{false, d, sig, {}});
+            has_key = true;
         }
 
-        std::vector<uint32_t> cands;
+        candsScratch.clear();
         for (size_t i = 0; i < n; ++i) {
             if (!actors[i].enabled)
                 continue;
@@ -218,22 +346,46 @@ struct Explorer::Impl final : sim::ChoiceProvider
                 ++stats.sleepSkips;
                 continue;
             }
-            cands.push_back(static_cast<uint32_t>(i));
+            candsScratch.push_back(static_cast<uint32_t>(i));
         }
-        if (cands.empty()) {
+        if (candsScratch.empty()) {
             // Every enabled actor is asleep: all continuations from
             // here are covered by the sibling subtrees that put them
             // to sleep.
-            if (!node.stateKey.empty())
-                visited.erase(node.stateKey);
-            throw Cut{{}, SIZE_MAX};
+            if (has_key) {
+                if (opts.debugStateKeys)
+                    visitedStr.erase(scratch);
+                else
+                    visited.erase(key);
+            }
+            return cutRun(nullptr, SIZE_MAX);
         }
-        node.chosen = cands[0];
-        node.pending.assign(cands.begin() + 1, cands.end());
-        trace.push_back(std::move(node));
-        stats.peakDepth = std::max(stats.peakDepth, trace.size());
-        updateSleepAfter(trace.back());
-        return trace.back().chosen;
+
+        Node &node = pushNode(sim::ChoiceKind::Schedule,
+                              static_cast<uint32_t>(n));
+        node.isSchedule = true;
+        node.actors.assign(actors, actors + n);
+        node.sleepIn.assign(curSleep.begin(), curSleep.end());
+        node.hasKey = has_key;
+        node.key = key;
+        if (has_key && opts.debugStateKeys)
+            node.stringKey = scratch;
+        node.chosen = candsScratch[0];
+        node.pending.assign(candsScratch.begin() + 1,
+                            candsScratch.end());
+        if (opts.checkpoints && !node.pending.empty()) {
+            // The machine is still at the top of this step (the pick
+            // mutates nothing before returning), so the snapshot
+            // resumes exactly here. Only branchy nodes checkpoint —
+            // a singleton node can never be a divergence point, and
+            // resuming from the nearest branchy ancestor replays the
+            // few singleton steps in between. Slot pooling recycles
+            // the snapshot's storage with the node.
+            machine.snapshot(node.snap);
+            node.hasSnap = true;
+        }
+        updateSleepAfter(node);
+        return node.chosen;
     }
 
     // ---- sleep-set plumbing -----------------------------------------
@@ -258,47 +410,59 @@ struct Explorer::Impl final : sim::ChoiceProvider
             return;
         }
         const sim::ActorOption &a = node.actors[node.chosen];
-        std::vector<uint8_t> s = node.sleepIn;
-        s.resize(nIds, 0);
+        if (node.doneIds.empty()) {
+            // Fast path: nobody newly asleep. The child set is the
+            // entry set minus dependants of the chosen slot; when the
+            // entry set is empty (the common case off the first
+            // branch), the child set is too.
+            bool any = false;
+            for (uint8_t s : node.sleepIn)
+                any = any || s;
+            if (!any) {
+                std::fill(curSleep.begin(), curSleep.end(), 0);
+                return;
+            }
+        }
+        sleepScratch.assign(node.sleepIn.begin(), node.sleepIn.end());
+        sleepScratch.resize(nIds, 0);
         for (int id : node.doneIds)
-            s[static_cast<size_t>(id)] = 1;
-        s[static_cast<size_t>(a.id)] = 0;
+            sleepScratch[static_cast<size_t>(id)] = 1;
+        sleepScratch[static_cast<size_t>(a.id)] = 0;
         for (size_t id = 0; id < nIds; ++id) {
-            if (!s[id])
+            if (!sleepScratch[id])
                 continue;
             const sim::ActorOption *u =
                 findActor(node, static_cast<int>(id));
             if (!u || !sim::independentActors(*u, a))
-                s[id] = 0;
+                sleepScratch[id] = 0;
         }
-        curSleep = std::move(s);
+        std::swap(curSleep, sleepScratch);
     }
 
     // ---- subtree accounting -----------------------------------------
 
     void
-    contribute(const ReachMap &m)
+    contribute(const Weights &w)
     {
-        ReachMap &dst =
-            trace.empty() ? rootFinals : trace.back().finals;
-        for (const auto &[k, c] : m)
-            dst[k] += c;
+        foldWeights(traceLen == 0 ? rootFinals
+                                  : trace[traceLen - 1].finals,
+                    w);
     }
 
     void
-    contributeOne(const std::string &key)
+    contributeOne(uint32_t id)
     {
-        ReachMap &dst =
-            trace.empty() ? rootFinals : trace.back().finals;
-        dst[key] += 1;
+        bumpWeight(traceLen == 0 ? rootFinals
+                                 : trace[traceLen - 1].finals,
+                   id);
     }
 
     void
     taintDeepest(size_t greyDepth)
     {
-        if (!trace.empty())
-            trace.back().taint =
-                std::min(trace.back().taint, greyDepth);
+        if (traceLen > 0)
+            trace[traceLen - 1].taint =
+                std::min(trace[traceLen - 1].taint, greyDepth);
     }
 
     /** Pop the deepest node, folding its finals (and, when it cannot
@@ -307,32 +471,44 @@ struct Explorer::Impl final : sim::ChoiceProvider
     void
     popTop(bool blacken)
     {
-        Node top = std::move(trace.back());
-        trace.pop_back();
-        size_t my_depth = trace.size();
+        Node &top = trace[traceLen - 1];
+        --traceLen;
+        size_t my_depth = traceLen;
 
-        if (top.isSchedule && !top.stateKey.empty()) {
+        if (top.isSchedule && top.hasKey) {
             bool closed = blacken && top.taint >= my_depth;
+            VisitEntry *entry = nullptr;
+            if (opts.debugStateKeys) {
+                auto it = visitedStr.find(top.stringKey);
+                if (it != visitedStr.end())
+                    entry = &it->second;
+            } else {
+                auto it = visited.find(top.key);
+                if (it != visited.end())
+                    entry = &it->second;
+            }
             if (closed) {
-                VisitEntry &e = visited[top.stateKey];
-                e.black = true;
-                e.finals = top.finals;
+                if (entry) {
+                    entry->black = true;
+                    entry->finals = top.finals;
+                }
                 ++stats.distinctStates;
             } else {
                 // Part of a cycle to a live ancestor (or aborted):
                 // its finals are incomplete, so forget the state and
                 // let a future visit re-explore it.
-                visited.erase(top.stateKey);
+                if (opts.debugStateKeys)
+                    visitedStr.erase(top.stringKey);
+                else
+                    visited.erase(top.key);
             }
         }
 
-        if (trace.empty()) {
-            for (const auto &[k, c] : top.finals)
-                rootFinals[k] += c;
+        if (traceLen == 0) {
+            foldWeights(rootFinals, top.finals);
         } else {
-            Node &p = trace.back();
-            for (const auto &[k, c] : top.finals)
-                p.finals[k] += c;
+            Node &p = trace[traceLen - 1];
+            foldWeights(p.finals, top.finals);
             if (top.taint < my_depth)
                 p.taint = std::min(p.taint, top.taint);
         }
@@ -342,8 +518,8 @@ struct Explorer::Impl final : sim::ChoiceProvider
     bool
     backtrack()
     {
-        while (!trace.empty()) {
-            Node &top = trace.back();
+        while (traceLen > 0) {
+            Node &top = trace[traceLen - 1];
             if (!top.pending.empty()) {
                 if (top.isSchedule)
                     top.doneIds.push_back(
@@ -359,6 +535,32 @@ struct Explorer::Impl final : sim::ChoiceProvider
 
     // ---- the search -------------------------------------------------
 
+    /** Interned outcome id of the machine's just-finished leaf,
+     * memoised by final-state digest on the fast path. Debug mode
+     * materialises every leaf (the PR-3 behaviour), so the two modes
+     * cross-check the digest memo as well as the state keys. */
+    uint32_t
+    leafOutcomeId()
+    {
+        auto record = [&]() {
+            litmus::FinalState st = machine.finalState();
+            uint32_t id = interner.intern(keyer.keyFor(st));
+            if (test->condition.eval(st)) {
+                if (satFlags.size() <= id)
+                    satFlags.resize(id + 1, 0);
+                satFlags[id] = 1;
+            }
+            return id;
+        };
+        if (opts.debugStateKeys)
+            return record();
+        auto [it, fresh] =
+            outcomeIds.try_emplace(machine.outcomeDigest(), 0);
+        if (fresh)
+            it->second = record();
+        return it->second;
+    }
+
     ExploreResult
     explore()
     {
@@ -366,37 +568,62 @@ struct Explorer::Impl final : sim::ChoiceProvider
         bool complete = true;
         bool drained = false;
         while (!drained) {
+            size_t states = opts.debugStateKeys ? visitedStr.size()
+                                                : visited.size();
             if (stats.replays >= opts.maxReplays ||
-                (opts.stateCache &&
-                 visited.size() >= opts.maxStates)) {
+                (opts.stateCache && states >= opts.maxStates)) {
                 complete = false;
                 break;
             }
             ++stats.replays;
-            depth = 0;
             std::fill(curSleep.begin(), curSleep.end(), 0);
-            try {
-                litmus::FinalState st = machine.run(*this);
-                std::string key = keyer.keyFor(st);
-                contributeOne(key);
-                if (test->condition.eval(st))
-                    satisfying.insert(key);
+            cutPending = false;
+            // Resume from the deepest checkpoint on the spine: the
+            // replayed prefix shrinks from the whole trace to the
+            // slice after the last schedule node. The choices
+            // consumed — and therefore the traversal — are identical
+            // to a root replay.
+            size_t resume_at = SIZE_MAX;
+            if (opts.checkpoints) {
+                for (size_t i = traceLen; i-- > 0;) {
+                    if (trace[i].hasSnap) {
+                        resume_at = i;
+                        break;
+                    }
+                }
+            }
+            bool finished;
+            if (resume_at != SIZE_MAX) {
+                ++stats.resumes;
+                depth = resume_at;
+                finished =
+                    machine.resumeLight(trace[resume_at].snap, *this);
+            } else {
+                depth = 0;
+                finished = machine.runLight(*this);
+            }
+            if (!finished) {
+                // The replay was abandoned at a memoised state
+                // (cutPending is set; the machine has no final
+                // state).
+                if (cutMemo)
+                    contribute(*cutMemo);
+                if (cutTaint != SIZE_MAX)
+                    taintDeepest(cutTaint);
+            } else {
+                contributeOne(leafOutcomeId());
                 // A guard-truncated execution is a real (sampler-
                 // reachable) outcome and is recorded, but the tree
                 // beyond the guard was not enumerated: bounded.
                 if (machine.lastRunTruncated())
                     guardSensitive = true;
-            } catch (Cut &cut) {
-                contribute(cut.finals);
-                if (cut.taintDepth != SIZE_MAX)
-                    taintDeepest(cut.taintDepth);
             }
             drained = backtrack();
         }
 
         // On a budget abort the open spine still holds sound partial
         // results: fold them down without memoising anything.
-        while (!trace.empty())
+        while (traceLen > 0)
             popTop(false);
 
         ExploreResult result;
@@ -404,10 +631,17 @@ struct Explorer::Impl final : sim::ChoiceProvider
         result.chipName = machine.chip().shortName;
         result.column = opts.machine.inc.column();
         result.complete = complete && !guardSensitive;
-        result.finals = std::move(rootFinals);
-        result.satisfying = std::move(satisfying);
-        for (const auto &[k, c] : result.finals)
-            result.paths += c;
+        // Un-intern the dense accounting back into the string-keyed
+        // result shape the eval layer consumes.
+        for (uint32_t id = 0; id < rootFinals.size(); ++id) {
+            if (rootFinals[id] == 0)
+                continue;
+            const std::string &name = *interner.names[id];
+            result.finals[name] = rootFinals[id];
+            if (id < satFlags.size() && satFlags[id])
+                result.satisfying.insert(name);
+            result.paths += rootFinals[id];
+        }
         result.stats = stats;
         auto end = std::chrono::steady_clock::now();
         result.millis =
@@ -477,11 +711,13 @@ ExploreResult::str() const
             out += "  *";
         out += "\n";
     }
-    out += "replays " + std::to_string(stats.replays) + ", states " +
+    out += "replays " + std::to_string(stats.replays) + " (" +
+           std::to_string(stats.resumes) + " resumed), states " +
            std::to_string(stats.distinctStates) + ", state cuts " +
            std::to_string(stats.stateCuts) + ", sleep skips " +
            std::to_string(stats.sleepSkips) + ", peak depth " +
-           std::to_string(stats.peakDepth) + "\n";
+           std::to_string(stats.peakDepth) + ", replayed choices " +
+           std::to_string(stats.replayedChoices) + "\n";
     return out;
 }
 

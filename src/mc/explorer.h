@@ -34,6 +34,24 @@
  * when it trips, the result is flagged incomplete ("bounded") and
  * carries everything reached so far — still a sound lower bound on
  * the reachable set, no longer a proof of unreachability.
+ *
+ * Hot-path machinery (PR 4): the search is *checkpointed* — every
+ * branchy schedule node on the DFS spine keeps a machine snapshot
+ * (sim::Machine::snapshot), and each new replay resumes from the
+ * deepest checkpoint at or above its divergence point instead of
+ * re-executing the whole choice prefix from instruction zero. This
+ * changes no decision the search makes: the tree traversal, the
+ * replay count and every pruning statistic are bit-identical with
+ * checkpointing on or off (only wall clock and the per-replay work
+ * shrink), which the determinism tests pin. State-cache keys are
+ * 128-bit digests streamed incrementally from the machine state
+ * (Machine::hashState) rather than materialised strings; the PR-3
+ * string keying survives behind ExploreOptions::debugStateKeys,
+ * which switches the memo back to full (collision-free) encodings —
+ * the key-agreement tests explore the whole corpus in both modes and
+ * require identical results and statistics, which is how a digest
+ * collision would surface. Digests are stable within a build but are
+ * not a serialisation format (common/hash.h).
  */
 
 #ifndef GPULITMUS_MC_EXPLORER_H
@@ -67,6 +85,17 @@ struct ExploreOptions
     bool sleepSets = true;
     /** State-cache pruning (sound; disable to cross-check). */
     bool stateCache = true;
+    /** Resume replays from machine snapshots at schedule nodes
+     * instead of re-executing the whole choice prefix. Pure wall-
+     * clock: the traversal and every stat except `resumes` /
+     * `replayedChoices` are bit-identical on or off. */
+    bool checkpoints = true;
+    /** Key the state memo on the full string encodings (the PR-3
+     * scheme, collision-free by construction) instead of 128-bit
+     * digests. Slow; for tests and forensic runs — compare a run in
+     * each mode: any divergence implicates a digest collision
+     * (GPULITMUS_MC_DEBUG_KEYS=1 wires it through the mc backend). */
+    bool debugStateKeys = false;
 };
 
 struct ExploreStats
@@ -77,6 +106,11 @@ struct ExploreStats
     uint64_t sleepSkips = 0;   ///< schedule alternatives put to sleep
     uint64_t distinctStates = 0; ///< scheduling states memoised
     size_t peakDepth = 0;      ///< deepest choice sequence
+    /** Replays resumed from a checkpoint (0 with checkpoints off). */
+    uint64_t resumes = 0;
+    /** Stored prefix choices re-consumed across all replays — the
+     * work checkpointing exists to avoid; compare on vs off. */
+    uint64_t replayedChoices = 0;
 };
 
 /** The exact outcome of exploring one (chip, test, incantation). */

@@ -21,6 +21,13 @@
  * final states — they stretch or compress when things happen, which
  * matters for observation *rates* but is subsumed by exhaustive
  * scheduling — so a model checker may pin them to a canonical value.
+ *
+ * Providers may also *abort* an iteration from a scheduling pick by
+ * returning ChoiceProvider::kAbortRun: the machine stops immediately
+ * and reports no final state. Searchers use this to cut replays
+ * whose continuation is already memoised without paying for an
+ * exception unwind per cut (and without serialising worker threads
+ * on the unwinder's global lock). Samplers never abort.
  */
 
 #ifndef GPULITMUS_SIM_CHOICE_H
@@ -98,6 +105,16 @@ class ChoiceProvider
   public:
     virtual ~ChoiceProvider() = default;
 
+    /**
+     * Sentinel a provider may return from pickActor() to abandon the
+     * current iteration: the machine stops immediately and returns an
+     * empty (meaningless) final state. Searchers use it to cut
+     * replays whose continuation is already memoised — an exception-
+     * free fast path that costs one compare per scheduling step.
+     * Samplers never return it.
+     */
+    static constexpr size_t kAbortRun = static_cast<size_t>(-1);
+
     /** Uniform-shaped pick in [0, n); n >= 1. */
     virtual uint64_t pick(ChoiceKind kind, uint64_t n) = 0;
 
@@ -116,10 +133,11 @@ class ChoiceProvider
     virtual bool wantsActors() const { return false; }
 
     /**
-     * Scheduling pick: one slot among the n actors. `actors` is null
-     * unless wantsActors(). The default (sampling) shape is a uniform
-     * pick over all n actors, disabled ones included — a disabled
-     * pick is a no-op slot, exactly the pre-refactor behaviour.
+     * Scheduling pick: one slot among the n actors, or kAbortRun to
+     * abandon the iteration. `actors` is null unless wantsActors().
+     * The default (sampling) shape is a uniform pick over all n
+     * actors, disabled ones included — a disabled pick is a no-op
+     * slot, exactly the pre-refactor behaviour.
      */
     virtual size_t
     pickActor(const ActorOption *actors, size_t n)

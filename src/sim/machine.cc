@@ -188,52 +188,56 @@ Machine::compile()
 void
 Machine::resetRun(ChoiceProvider &cp)
 {
+    // Every container below is reset *in place*: after the first run
+    // the sizes are stable, so assign/resize/clear reuse the pooled
+    // capacity and the reset performs no heap allocation. The choice
+    // draw order is identical to the pre-pooling reset (placement,
+    // then L1 warmth, then start skew) — bit-compatibility with the
+    // golden histograms depends on it.
     int nthreads = test_->program.numThreads();
     int nlocs = static_cast<int>(locShared_.size());
 
-    l2_.assign(nlocs, 0);
-    for (int i = 0; i < nlocs; ++i)
-        l2_[i] = locInit_[i];
+    l2_.assign(locInit_.begin(), locInit_.end());
 
     int nctas = test_->scopeTree.numCtas();
-    sharedMem_.assign(nctas, std::vector<int64_t>(nlocs, 0));
-    for (auto &mem : sharedMem_) {
-        for (int i = 0; i < nlocs; ++i)
-            mem[i] = locInit_[i];
-    }
+    sharedMem_.resize(nctas);
+    for (auto &mem : sharedMem_)
+        mem.assign(locInit_.begin(), locInit_.end());
 
     // CTA -> SM placement: distinct SMs per CTA (the scheduler
     // spreads resident CTAs across SMs). Without thread randomisation
     // the layout is fixed; with it, each iteration draws a fresh
     // assignment.
-    std::vector<int> cta_sm(nctas);
+    ctaSm_.resize(nctas);
     if (opts_.inc.threadRandomisation && nctas <= chip_->numSMs) {
-        std::vector<int> sm_ids(chip_->numSMs);
+        smIds_.resize(chip_->numSMs);
         for (int s = 0; s < chip_->numSMs; ++s)
-            sm_ids[s] = s;
+            smIds_[s] = s;
         // Fisher-Yates, one pick per swap: the sampler consumes the
         // Rng exactly as Rng::shuffle did. SMs are homogeneous and
         // every placement puts the CTAs on distinct SMs, so the kind
         // is reachability-irrelevant by construction.
-        for (size_t i = sm_ids.size() - 1; i > 0; --i) {
+        for (size_t i = smIds_.size() - 1; i > 0; --i) {
             size_t j = static_cast<size_t>(
                 cp.pick(ChoiceKind::Placement, i + 1));
-            std::swap(sm_ids[i], sm_ids[j]);
+            std::swap(smIds_[i], smIds_[j]);
         }
         for (int c = 0; c < nctas; ++c)
-            cta_sm[c] = sm_ids[c];
+            ctaSm_[c] = smIds_[c];
     } else {
         for (int c = 0; c < nctas; ++c)
-            cta_sm[c] = c % chip_->numSMs;
+            ctaSm_[c] = c % chip_->numSMs;
     }
 
-    sms_.assign(chip_->numSMs, SmState{});
-    for (auto &sm : sms_)
+    sms_.resize(chip_->numSMs);
+    for (auto &sm : sms_) {
         sm.l1.assign(nlocs, std::nullopt);
+        sm.buffer.clear();
+    }
 
     uint64_t used_sms = 0;
     for (int c = 0; c < nctas; ++c)
-        used_sms |= 1ULL << (cta_sm[c] & 63);
+        used_sms |= 1ULL << (ctaSm_[c] & 63);
 
     // Warm L1 lines: residue of previous iterations holding the
     // (re-)initialised values. Lines of SMs hosting no testing
@@ -250,12 +254,19 @@ Machine::resetRun(ChoiceProvider &cp)
         }
     }
 
-    threads_.assign(nthreads, ThreadState{});
+    threads_.resize(nthreads);
     for (int t = 0; t < nthreads; ++t) {
         ThreadState &ts = threads_[t];
         ts.ctaId = test_->scopeTree.placement(t).cta;
-        ts.smId = cta_sm[ts.ctaId];
-        ts.regs = compiled_[t].regInit;
+        ts.smId = ctaSm_[ts.ctaId];
+        ts.pc = 0;
+        ts.executed = 0;
+        ts.frontDone = false;
+        const auto &init = compiled_[t].regInit;
+        ts.regs.assign(init.begin(), init.end());
+        ts.pendingRegs = 0;
+        ts.window.clear();
+        ts.wroteLocs = 0;
         if (opts_.inc.threadSync)
             ts.startDelay =
                 static_cast<int>(cp.pick(ChoiceKind::StartSkew, 3));
@@ -354,12 +365,44 @@ Machine::fillActorTable(int nthreads, const int *drain_sms,
 litmus::FinalState
 Machine::run(ChoiceProvider &cp)
 {
+    return runLight(cp) ? collectFinalState() : litmus::FinalState{};
+}
+
+litmus::FinalState
+Machine::resume(const Snapshot &snap, ChoiceProvider &cp)
+{
+    return resumeLight(snap, cp) ? collectFinalState()
+                                 : litmus::FinalState{};
+}
+
+bool
+Machine::runLight(ChoiceProvider &cp)
+{
     resetRun(cp);
     truncated_ = false;
+    return mainLoop(0, cp);
+}
 
+bool
+Machine::resumeLight(const Snapshot &snap, ChoiceProvider &cp)
+{
+    restore(snap);
+    return mainLoop(snap.step, cp);
+}
+
+litmus::FinalState
+Machine::finalState() const
+{
+    return collectFinalState();
+}
+
+bool
+Machine::mainLoop(int start_step, ChoiceProvider &cp)
+{
     int nthreads = static_cast<int>(threads_.size());
-    for (int step = 0; step < opts_.maxMicroSteps && !allDone();
-         ++step) {
+    for (int step = start_step;
+         step < opts_.maxMicroSteps && !allDone(); ++step) {
+        curStep_ = step;
         // Actors: threads plus (under stress) one drain actor per SM
         // with a non-empty buffer.
         int ndrains = 0;
@@ -378,8 +421,14 @@ Machine::run(ChoiceProvider &cp)
             fillActorTable(nthreads, drain_sms, ndrains);
             table = actors_.data();
         }
-        int choice = static_cast<int>(cp.pickActor(
-            table, static_cast<size_t>(nthreads + ndrains)));
+        size_t picked = cp.pickActor(
+            table, static_cast<size_t>(nthreads + ndrains));
+        if (picked == ChoiceProvider::kAbortRun) {
+            // The provider abandoned the iteration (a searcher cut a
+            // replay whose continuation it already knows).
+            return false;
+        }
+        int choice = static_cast<int>(picked);
         if (choice < nthreads) {
             if (!threads_[choice].done())
                 threadAction(choice, cp);
@@ -413,7 +462,50 @@ Machine::run(ChoiceProvider &cp)
     for (int s = 0; s < chip_->numSMs; ++s)
         drainAll(s, cp);
 
-    return collectFinalState();
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+void
+Machine::snapshot(Snapshot &out) const
+{
+    // Vector copy-assignment reuses the target's capacity (and its
+    // elements' nested capacity), so a pooled snapshot costs only the
+    // element copies after first use. SMs hosting no thread are
+    // invariant mid-run (see encodeTo) and skipped: restore() leaves
+    // the machine's — already correct — copies in place.
+    out.threads = threads_;
+    uint64_t used = 0;
+    for (const auto &ts : threads_)
+        used |= 1ULL << (ts.smId & 63);
+    out.sms.resize(sms_.size());
+    for (size_t s = 0; s < sms_.size(); ++s) {
+        if ((used >> (s & 63)) & 1)
+            out.sms[s] = sms_[s];
+    }
+    out.l2 = l2_;
+    out.sharedMem = sharedMem_;
+    out.step = curStep_;
+    out.truncated = truncated_;
+}
+
+void
+Machine::restore(const Snapshot &snap)
+{
+    uint64_t used = 0;
+    for (const auto &ts : snap.threads)
+        used |= 1ULL << (ts.smId & 63);
+    threads_ = snap.threads;
+    for (size_t s = 0; s < sms_.size(); ++s) {
+        if ((used >> (s & 63)) & 1)
+            sms_[s] = snap.sms[s];
+    }
+    l2_ = snap.l2;
+    sharedMem_ = snap.sharedMem;
+    truncated_ = snap.truncated;
 }
 
 // ---------------------------------------------------------------------
@@ -1028,18 +1120,30 @@ Machine::perform(int tid, const WindowEntry &e, ChoiceProvider &cp)
 
 namespace {
 
-void
-put64(std::string &out, uint64_t v)
+/** Byte/word consumers for the one canonical state traversal: the
+ * string sink materialises the encoding, the hash sink folds the same
+ * byte stream straight into a 128-bit digest. */
+struct StringSink
 {
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
+    std::string &out;
 
-void
-put8(std::string &out, uint8_t v)
+    void
+    put64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void put8(uint8_t v) { out.push_back(static_cast<char>(v)); }
+};
+
+struct HashSink
 {
-    out.push_back(static_cast<char>(v));
-}
+    Hash128 &h;
+
+    void put64(uint64_t v) { h.put64(v); }
+    void put8(uint8_t v) { h.put8(v); }
+};
 
 } // anonymous namespace
 
@@ -1054,63 +1158,114 @@ Machine::executedSignature() const
     return h;
 }
 
+template <typename Sink>
 void
-Machine::encodeState(std::string &out) const
+Machine::encodeTo(Sink &sink) const
 {
+    // SMs hosting no testing thread are invariant for the rest of the
+    // run: their buffers only fill from their own threads (there are
+    // none) and their L1 lines are never served to anyone, so they
+    // cannot influence any continuation. Encoding the used-SM mask
+    // and then only the used SMs keeps the key injective while
+    // skipping the constant majority (8-SM chips host 2-4 CTAs).
+    uint64_t used = 0;
+    for (const auto &ts : threads_)
+        used |= 1ULL << (ts.smId & 63);
+
     for (const auto &ts : threads_) {
-        put64(out, static_cast<uint64_t>(ts.pc));
-        put8(out, static_cast<uint8_t>(ts.frontDone));
-        put8(out, static_cast<uint8_t>(ts.startDelay));
-        put64(out, ts.pendingRegs);
-        put64(out, ts.wroteLocs);
-        put64(out, ts.regs.size());
+        sink.put64(static_cast<uint64_t>(ts.pc));
+        sink.put8(static_cast<uint8_t>(ts.frontDone));
+        sink.put8(static_cast<uint8_t>(ts.startDelay));
+        sink.put64(ts.pendingRegs);
+        sink.put64(ts.wroteLocs);
+        sink.put64(ts.regs.size());
         for (int64_t r : ts.regs)
-            put64(out, static_cast<uint64_t>(r));
-        put64(out, ts.window.size());
+            sink.put64(static_cast<uint64_t>(r));
+        sink.put64(ts.window.size());
         for (const auto &e : ts.window) {
-            put8(out, static_cast<uint8_t>(e.kind));
-            put8(out, static_cast<uint8_t>(e.op));
-            put8(out, static_cast<uint8_t>(e.cacheOp));
-            put8(out, static_cast<uint8_t>(e.scope));
-            put64(out, static_cast<uint64_t>(e.loc));
-            put8(out, static_cast<uint8_t>(e.shared));
-            put64(out, static_cast<uint64_t>(e.dst));
-            put64(out, static_cast<uint64_t>(e.src0));
-            put64(out, static_cast<uint64_t>(e.src1));
-            put8(out, static_cast<uint8_t>(e.delay));
+            sink.put8(static_cast<uint8_t>(e.kind));
+            sink.put8(static_cast<uint8_t>(e.op));
+            sink.put8(static_cast<uint8_t>(e.cacheOp));
+            sink.put8(static_cast<uint8_t>(e.scope));
+            sink.put64(static_cast<uint64_t>(e.loc));
+            sink.put8(static_cast<uint8_t>(e.shared));
+            sink.put64(static_cast<uint64_t>(e.dst));
+            sink.put64(static_cast<uint64_t>(e.src0));
+            sink.put64(static_cast<uint64_t>(e.src1));
+            sink.put8(static_cast<uint8_t>(e.delay));
         }
     }
-    for (const auto &sm : sms_) {
-        put64(out, sm.buffer.size());
+    sink.put64(used);
+    for (size_t s = 0; s < sms_.size(); ++s) {
+        if (!((used >> (s & 63)) & 1))
+            continue;
+        const SmState &sm = sms_[s];
+        sink.put64(sm.buffer.size());
         for (const auto &b : sm.buffer) {
-            put64(out, static_cast<uint64_t>(b.loc));
-            put64(out, static_cast<uint64_t>(b.value));
+            sink.put64(static_cast<uint64_t>(b.loc));
+            sink.put64(static_cast<uint64_t>(b.value));
         }
         for (const auto &line : sm.l1) {
             if (!line) {
-                put8(out, 0);
+                sink.put8(0);
                 continue;
             }
-            put8(out, static_cast<uint8_t>(
-                          1 | (line->stale ? 2 : 0) |
-                          (line->staleFromOwnSM ? 4 : 0)));
-            put64(out, static_cast<uint64_t>(line->value));
+            sink.put8(static_cast<uint8_t>(
+                1 | (line->stale ? 2 : 0) |
+                (line->staleFromOwnSM ? 4 : 0)));
+            sink.put64(static_cast<uint64_t>(line->value));
         }
     }
     for (int64_t v : l2_)
-        put64(out, static_cast<uint64_t>(v));
+        sink.put64(static_cast<uint64_t>(v));
     for (const auto &mem : sharedMem_) {
         for (int64_t v : mem)
-            put64(out, static_cast<uint64_t>(v));
+            sink.put64(static_cast<uint64_t>(v));
     }
+}
+
+void
+Machine::encodeState(std::string &out) const
+{
+    StringSink sink{out};
+    encodeTo(sink);
+}
+
+void
+Machine::hashState(Hash128 &h) const
+{
+    HashSink sink{h};
+    encodeTo(sink);
 }
 
 // ---------------------------------------------------------------------
 // Final state
 // ---------------------------------------------------------------------
 
+Digest128
+Machine::outcomeDigest() const
+{
+    // Exactly the fields collectFinalState materialises, in the same
+    // order: equal digests imply equal final states.
+    Hash128 h;
+    for (const auto &ts : threads_) {
+        h.put64(ts.regs.size());
+        for (int64_t r : ts.regs)
+            h.put64(static_cast<uint64_t>(r));
+    }
+    for (size_t i = 0; i < locShared_.size(); ++i) {
+        if (locShared_[i])
+            h.put64(static_cast<uint64_t>(
+                sharedMem_.empty() ? locInit_[i]
+                                   : sharedMem_[0][i]));
+        else
+            h.put64(static_cast<uint64_t>(l2_[i]));
+    }
+    return h.digest();
+}
+
 litmus::FinalState
-Machine::collectFinalState()
+Machine::collectFinalState() const
 {
     litmus::FinalState st;
     for (size_t t = 0; t < threads_.size(); ++t) {

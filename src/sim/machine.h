@@ -31,6 +31,39 @@
  *   little), thread synchronisation aligns thread start times, and
  *   thread randomisation re-randomises placement and start skew every
  *   iteration.
+ *
+ * Hot-path contracts (what the model checker and the sampling harness
+ * lean on):
+ *
+ * - Compile once, run many: a Machine compiles its test to indexed
+ *   registers and instruction arrays at construction; run()/resume()
+ *   reset and reuse pooled per-run storage in place, so the steady
+ *   state of the step loop performs no heap allocation. setOptions()
+ *   re-parameterises the *runtime* knobs (incantations, step limits)
+ *   without recompiling — the compiled program depends only on the
+ *   test — which is what lets one compiled machine serve a whole
+ *   (chip, test) batch of jobs.
+ *
+ * - Snapshot/restore lifetime: snapshot() captures the complete
+ *   mutable run state at the top of a scheduling step; resume()
+ *   restores it and continues the main loop from that step. A
+ *   Snapshot is a plain copyable value, but it is only meaningful for
+ *   the Machine that produced it (same compiled program, same chip
+ *   profile); restoring it into any other machine — or after
+ *   setOptions() changed the incantations — is undefined. Snapshots
+ *   do not outlive their machine semantically, only structurally:
+ *   keep them as long as you like, but only feed them back to their
+ *   source. snapshot(Snapshot&) reuses the target's storage, so a
+ *   pooled snapshot is allocation-free after first use.
+ *
+ * - State-key stability: encodeState() and hashState() emit the same
+ *   canonical byte stream (hashState folds it into a 128-bit digest
+ *   without materialising it). Two states with equal encodings behave
+ *   identically under identical future choices. The encoding — and
+ *   therefore the digest — is stable within a process and across
+ *   processes of one build, but is NOT a serialisation format: field
+ *   layout may change between versions, so never persist keys or
+ *   digests across builds (see common/hash.h).
  */
 
 #ifndef GPULITMUS_SIM_MACHINE_H
@@ -41,6 +74,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "litmus/test.h"
 #include "sim/chip.h"
@@ -91,6 +125,16 @@ class Machine
     Machine(const ChipProfile &chip, const litmus::Test &test,
             MachineOptions opts = {});
 
+    /**
+     * Re-parameterise the runtime knobs (incantations, step limits)
+     * without recompiling. The compiled program depends only on the
+     * test, so a cached machine can serve jobs differing in options.
+     * Invalidates outstanding Snapshots semantically (a snapshot
+     * captures state produced under the old options).
+     */
+    void setOptions(const MachineOptions &opts) { opts_ = opts; }
+    const MachineOptions &options() const { return opts_; }
+
     /** One iteration; draws all randomness from rng. Thin wrapper
      * over run(ChoiceProvider&) with the RngChoice sampler — the
      * draw sequence is bit-identical to the pre-refactor machine. */
@@ -99,6 +143,29 @@ class Machine
     /** One iteration; every nondeterministic decision is answered by
      * the provider (see sim/choice.h). */
     litmus::FinalState run(ChoiceProvider &choices);
+
+    /**
+     * run() without materialising the final state: returns false when
+     * the provider aborted the iteration (ChoiceProvider::kAbortRun),
+     * true otherwise. After a true return, query outcomeDigest() —
+     * and finalState() only for digests not seen before. Searchers
+     * use this to skip the final-state maps for the (overwhelmingly
+     * common) leaves whose outcome repeats an earlier one.
+     */
+    bool runLight(ChoiceProvider &choices);
+
+    /**
+     * 128-bit digest of the observable final state of the last
+     * completed (non-aborted) run: every thread register plus the
+     * final memory value of every testing location — exactly the
+     * fields finalState() materialises, so equal digests imply equal
+     * final states (up to the ~2^-128 collision bound of
+     * common/hash.h).
+     */
+    Digest128 outcomeDigest() const;
+
+    /** Materialise the final state of the last completed run. */
+    litmus::FinalState finalState() const;
 
     /**
      * Append a canonical encoding of the mutable run state (thread
@@ -111,6 +178,16 @@ class Machine
      * matter.
      */
     void encodeState(std::string &out) const;
+
+    /**
+     * Fold the canonical state encoding into an incremental 128-bit
+     * hash with no intermediate buffer. hashState() and encodeState()
+     * are generated from one shared traversal, so they digest exactly
+     * the same fields in the same order and cannot drift: states with
+     * equal encodings have equal digests, and unequal encodings
+     * collide only with ~2^-128 probability (common/hash.h).
+     */
+    void hashState(Hash128 &h) const;
 
     /**
      * Digest of the per-thread fetch counters. For loop-free
@@ -212,6 +289,47 @@ class Machine
         std::vector<BufferEntry> buffer;
     };
 
+  public:
+    /**
+     * The complete mutable run state at the top of a scheduling step.
+     * A plain copyable value — but only meaningful for the Machine
+     * that produced it (see the file header's lifetime rules). Opaque
+     * outside the machine: holders store and pass it back, nothing
+     * more.
+     */
+    struct Snapshot
+    {
+        std::vector<ThreadState> threads;
+        std::vector<SmState> sms;
+        std::vector<int64_t> l2;
+        std::vector<std::vector<int64_t>> sharedMem;
+        int step = 0;         ///< main-loop position to resume at
+        bool truncated = false;
+    };
+
+    /**
+     * Capture the current run state into `out`, reusing its storage
+     * (a pooled snapshot is allocation-free after first use). Only
+     * meaningful at a Schedule choice point — the top of a main-loop
+     * step, before the pick mutates anything — which is exactly where
+     * providers see the actor table.
+     */
+    void snapshot(Snapshot &out) const;
+
+    /**
+     * Restore `snap` and continue that interrupted run from its step:
+     * the first decision the provider is asked for is the Schedule
+     * pick of the snapshotted step. Behaviourally identical to (and
+     * much cheaper than) re-running from the start under the same
+     * choice prefix.
+     */
+    litmus::FinalState resume(const Snapshot &snap,
+                              ChoiceProvider &choices);
+
+    /** resume() in the light shape of runLight(). */
+    bool resumeLight(const Snapshot &snap, ChoiceProvider &choices);
+
+  private:
     // ---- helpers ----------------------------------------------------
     void compile();
     int regIndex(int tid, const std::string &name);
@@ -219,6 +337,14 @@ class Machine
     int locIndexOf(int64_t addr) const;
 
     void resetRun(ChoiceProvider &cp);
+    void restore(const Snapshot &snap);
+    /** The step loop plus the deterministic finish; run() enters it
+     * at step 0, resume() at the snapshot's step. False when the
+     * provider aborted the iteration. */
+    bool mainLoop(int start_step, ChoiceProvider &cp);
+    /** One traversal generates both state encodings (see
+     * encodeState/hashState); Sink is a byte/word consumer. */
+    template <typename Sink> void encodeTo(Sink &sink) const;
     bool allDone() const;
     void threadAction(int tid, ChoiceProvider &cp);
     bool issueReady(const ThreadState &ts, const CInstr &in) const;
@@ -239,7 +365,7 @@ class Machine
                                 ChoiceProvider &cp);
     void fillActorTable(int nthreads, const int *drain_sms,
                         int ndrains);
-    litmus::FinalState collectFinalState();
+    litmus::FinalState collectFinalState() const;
 
     double corrJitterFactor() const;
     bool stress() const { return opts_.inc.memoryStress; }
@@ -255,7 +381,8 @@ class Machine
     std::vector<int64_t> locInit_;
     std::vector<bool> hasSameCtaPeer_;
 
-    // Reset per run.
+    // Reset per run (storage pooled across runs: reset happens in
+    // place, so the steady state allocates nothing).
     std::vector<ThreadState> threads_;
     std::vector<SmState> sms_;
     std::vector<int64_t> l2_;
@@ -263,8 +390,13 @@ class Machine
     /** Scratch actor table, built per Schedule choice only when the
      * provider wantsActors() (exhaustive search; never the sampler). */
     std::vector<ActorOption> actors_;
+    /** Scratch for resetRun's CTA->SM placement draw. */
+    std::vector<int> ctaSm_, smIds_;
     /** Set when a run hits the outer step bound or a fetch guard. */
     bool truncated_ = false;
+    /** Main-loop position, maintained so snapshot() can record where
+     * to resume. */
+    int curStep_ = 0;
 };
 
 } // namespace gpulitmus::sim

@@ -31,6 +31,30 @@ TEST(Runner, HistogramTotalsMatchIterations)
     EXPECT_EQ(sum, 500u);
 }
 
+TEST(Runner, MachineReuseAcrossOptionsIsBitIdentical)
+{
+    // runJob serves every (chip, test) pair from one thread-local
+    // compiled machine, re-parameterised per job via setOptions.
+    // Interleaving columns and chips must leave each cell
+    // bit-identical to what a freshly compiled machine computes.
+    RunConfig c16;
+    c16.iterations = 3000;
+    c16.seed = 12345;
+    c16.inc = sim::Incantations::fromColumn(16);
+    RunConfig c1 = c16;
+    c1.inc = sim::Incantations::fromColumn(1);
+
+    litmus::Histogram first = run(sim::chip("Titan"), pl::mp(), c16);
+    // Reconfigure the cached machine (same chip/test, column 1) and
+    // touch a second chip and a second test in between.
+    run(sim::chip("Titan"), pl::mp(), c1);
+    run(sim::chip("GTX5"), pl::mp(), c16);
+    run(sim::chip("Titan"), pl::sb(), c16);
+    litmus::Histogram again = run(sim::chip("Titan"), pl::mp(), c16);
+    EXPECT_EQ(first.counts(), again.counts());
+    EXPECT_EQ(first.observed(), again.observed());
+}
+
 TEST(Runner, ReproducibleWithSameSeed)
 {
     RunConfig cfg;

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -93,7 +94,7 @@ TEST(ChoiceRefactor, SamplerBitIdenticalToGoldenAcrossColumns)
     {
         int column;
         uint64_t observed;
-    } golden[] = {{1, 0}, {6, 16}, {8, 72}, {12, 157}};
+    } golden[] = {{1, 0}, {6, 16}, {8, 72}, {12, 157}, {16, 123}};
     for (const auto &g : golden) {
         harness::RunConfig cfg;
         cfg.iterations = 5000;
@@ -151,6 +152,9 @@ TEST(Explorer, MpTitanReachesExactlyThePtxAllowedSet)
 {
     mc::ExploreResult r = explore("mp.litmus", "Titan", 16);
     ASSERT_TRUE(r.complete);
+    // The PR-3 pruning anchor: checkpointing and digest keys must
+    // not change what gets explored, only how fast.
+    EXPECT_EQ(r.stats.replays, 4400u);
     litmus::Test mp = loadCorpus("mp.litmus");
     model::Verdict v = model::Checker(cat::models::ptx()).check(mp);
     std::set<std::string> reached;
@@ -270,6 +274,80 @@ TEST(Explorer, DeterministicAcrossRuns)
     EXPECT_EQ(a.stats.replays, b.stats.replays);
     EXPECT_EQ(a.stats.stateCuts, b.stats.stateCuts);
     EXPECT_EQ(a.stats.sleepSkips, b.stats.sleepSkips);
+}
+
+TEST(Explorer, CheckpointingIsInvisibleInTraversalAndResults)
+{
+    // Checkpoint resume and digest keys are pure wall-clock
+    // machinery: all four on/off combinations must traverse the
+    // identical tree — same reachable sets, same replay counts, same
+    // pruning statistics, same completeness.
+    for (const char *file :
+         {"mp.litmus", "sb.litmus", "corr.litmus", "cas-sl.litmus"}) {
+        mc::ExploreResult base;
+        for (int mode = 0; mode < 4; ++mode) {
+            mc::ExploreOptions opts;
+            opts.checkpoints = mode & 1;
+            opts.debugStateKeys = mode & 2;
+            mc::ExploreResult r = explore(file, "Titan", 16, opts);
+            if (mode == 0) {
+                base = r;
+                continue;
+            }
+            EXPECT_EQ(r.finals, base.finals) << file << " " << mode;
+            EXPECT_EQ(r.satisfying, base.satisfying)
+                << file << " " << mode;
+            EXPECT_EQ(r.complete, base.complete)
+                << file << " " << mode;
+            EXPECT_EQ(r.stats.replays, base.stats.replays)
+                << file << " " << mode;
+            EXPECT_EQ(r.stats.choicePoints, base.stats.choicePoints)
+                << file << " " << mode;
+            EXPECT_EQ(r.stats.stateCuts, base.stats.stateCuts)
+                << file << " " << mode;
+            EXPECT_EQ(r.stats.sleepSkips, base.stats.sleepSkips)
+                << file << " " << mode;
+            EXPECT_EQ(r.stats.distinctStates,
+                      base.stats.distinctStates)
+                << file << " " << mode;
+            EXPECT_EQ(r.stats.peakDepth, base.stats.peakDepth)
+                << file << " " << mode;
+        }
+    }
+}
+
+TEST(Explorer, HashKeysAgreeWithStringKeysOverTheFullCorpus)
+{
+    // The 128-bit digest keys (fast path) and the PR-3 string keys
+    // (debug path) must drive identical explorations over every
+    // corpus test — the cross-check the debugStateKeys flag exists
+    // for. Budget-capped so pathological imports stay CI-sized;
+    // bounded results must agree too.
+    namespace fs = std::filesystem;
+    std::string dir =
+        std::string(GPULITMUS_SOURCE_DIR) + "/litmus-tests";
+    size_t checked = 0;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        if (entry.path().extension() != ".litmus")
+            continue;
+        std::string file = entry.path().filename().string();
+        mc::ExploreOptions fast;
+        fast.maxReplays = 200000;
+        mc::ExploreOptions debug = fast;
+        debug.debugStateKeys = true;
+        mc::ExploreResult a = explore(file, "Titan", 16, fast);
+        mc::ExploreResult b = explore(file, "Titan", 16, debug);
+        EXPECT_EQ(a.finals, b.finals) << file;
+        EXPECT_EQ(a.satisfying, b.satisfying) << file;
+        EXPECT_EQ(a.complete, b.complete) << file;
+        EXPECT_EQ(a.stats.replays, b.stats.replays) << file;
+        EXPECT_EQ(a.stats.stateCuts, b.stats.stateCuts) << file;
+        EXPECT_EQ(a.stats.distinctStates, b.stats.distinctStates)
+            << file;
+        ++checked;
+    }
+    // The corpus ships 20 tests; make sure the sweep saw them.
+    EXPECT_GE(checked, 20u);
 }
 
 TEST(Explorer, SpinLoopTerminatesViaStateCache)

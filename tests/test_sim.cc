@@ -8,6 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
 #include "litmus/library.h"
 #include "litmus/outcome.h"
 #include "sim/machine.h"
@@ -320,6 +325,221 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("GTX5", "TesC", "Titan",
                                          "GTX7", "HD6570", "HD7970"),
                        ::testing::Values(1, 6, 9, 12, 16)));
+
+// ---------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------
+
+/**
+ * Samples every choice from an Rng exactly as RngChoice would (one
+ * draw per decision, identical draw order), records every answer,
+ * and captures a machine snapshot at the snapAt-th schedule pick.
+ * The recorded tail then drives resume() for the roundtrip check.
+ */
+struct RecordingChoice final : ChoiceProvider
+{
+    Rng rng;
+    Machine *machine;
+    Machine::Snapshot snap;
+    int snapAt;
+    int schedules = 0;
+    bool captured = false;
+    size_t capturedAt = 0; ///< answer index at the snapshot
+    std::vector<uint64_t> answers;
+
+    RecordingChoice(uint64_t seed, Machine *m, int snap_at)
+        : rng(seed), machine(m), snapAt(snap_at)
+    {
+    }
+
+    uint64_t
+    pick(ChoiceKind, uint64_t n) override
+    {
+        uint64_t v = rng.below(n);
+        answers.push_back(v);
+        return v;
+    }
+
+    bool
+    chance(ChoiceKind, double p, bool) override
+    {
+        bool v = rng.chance(p);
+        answers.push_back(v);
+        return v;
+    }
+
+    size_t
+    pickActor(const ActorOption *, size_t n) override
+    {
+        if (schedules++ == snapAt) {
+            machine->snapshot(snap);
+            captured = true;
+            capturedAt = answers.size();
+        }
+        uint64_t v = rng.below(n);
+        answers.push_back(v);
+        return v;
+    }
+
+    int
+    delayBump() override
+    {
+        int v = 2 + static_cast<int>(rng.below(4));
+        answers.push_back(static_cast<uint64_t>(v));
+        return v;
+    }
+};
+
+/** Replays a recorded answer tail verbatim. */
+struct ReplayTail final : ChoiceProvider
+{
+    const std::vector<uint64_t> *answers;
+    size_t next;
+
+    ReplayTail(const std::vector<uint64_t> &a, size_t from)
+        : answers(&a), next(from)
+    {
+    }
+
+    uint64_t pick(ChoiceKind, uint64_t) override { return take(); }
+    bool chance(ChoiceKind, double, bool) override { return take() != 0; }
+    size_t pickActor(const ActorOption *, size_t) override
+    {
+        return static_cast<size_t>(take());
+    }
+    int delayBump() override { return static_cast<int>(take()); }
+
+    uint64_t
+    take()
+    {
+        EXPECT_LT(next, answers->size()) << "replay tail exhausted";
+        return (*answers)[next++];
+    }
+};
+
+TEST(Snapshot, ResumeReproducesTheInterruptedRun)
+{
+    // Snapshot at the k-th scheduling step mid-run, then resume from
+    // it replaying the recorded choice tail: the final state must be
+    // identical to the uninterrupted run's. Exercised across tests,
+    // columns and snapshot depths.
+    struct Case
+    {
+        litmus::Test test;
+        int column;
+    };
+    const Case cases[] = {
+        {pl::mp(), 16},
+        {pl::sb(), 16},
+        {pl::coRR(), 16},
+        {pl::casSl(false), 12},
+        {pl::mp(), 6},
+    };
+    for (const auto &c : cases) {
+        for (int snap_at : {0, 2, 7, 19}) {
+            MachineOptions opts;
+            opts.inc = Incantations::fromColumn(c.column);
+            Machine machine(chip("Titan"), c.test, opts);
+            RecordingChoice recorder(0x5eed + snap_at, &machine,
+                                     snap_at);
+            litmus::FinalState full = machine.run(recorder);
+            if (!recorder.captured)
+                continue; // run ended before snap_at schedules
+            ReplayTail tail(recorder.answers, recorder.capturedAt);
+            litmus::FinalState resumed =
+                machine.resume(recorder.snap, tail);
+            EXPECT_EQ(full, resumed)
+                << c.test.name << " column " << c.column
+                << " snapAt " << snap_at;
+        }
+    }
+}
+
+TEST(Snapshot, HashStateMatchesEncodedStateEquality)
+{
+    // hashState and encodeState digest the same canonical traversal:
+    // across many sampled runs, equal encodings must give equal
+    // digests and distinct encodings distinct digests.
+    litmus::Test mp = pl::mp();
+    MachineOptions opts;
+    opts.inc = Incantations::all();
+    Machine machine(chip("Titan"), mp, opts);
+    Rng rng(99);
+    std::map<std::string, Digest128> seen;
+    for (int i = 0; i < 400; ++i) {
+        machine.run(rng);
+        std::string enc;
+        machine.encodeState(enc);
+        Hash128 h;
+        machine.hashState(h);
+        Digest128 d = h.digest();
+        auto it = seen.find(enc);
+        if (it != seen.end()) {
+            EXPECT_EQ(it->second, d);
+        } else {
+            for (const auto &[other, digest] : seen)
+                EXPECT_FALSE(digest == d)
+                    << "digest collision between distinct encodings";
+            seen.emplace(std::move(enc), d);
+        }
+    }
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(Snapshot, OutcomeDigestMatchesFinalStateEquality)
+{
+    litmus::Test mp = pl::mp();
+    MachineOptions opts;
+    opts.inc = Incantations::all();
+    Machine machine(chip("Titan"), mp, opts);
+    Rng rng(7);
+    std::map<litmus::FinalState, Digest128> seen;
+    for (int i = 0; i < 300; ++i) {
+        RngChoice cp(rng);
+        ASSERT_TRUE(machine.runLight(cp));
+        litmus::FinalState st = machine.finalState();
+        Digest128 d = machine.outcomeDigest();
+        auto it = seen.find(st);
+        if (it != seen.end()) {
+            EXPECT_EQ(it->second, d);
+        } else {
+            for (const auto &[other, digest] : seen)
+                EXPECT_FALSE(digest == d)
+                    << "outcome-digest collision";
+            seen.emplace(st, d);
+        }
+    }
+    EXPECT_GT(seen.size(), 2u);
+}
+
+TEST(Snapshot, SetOptionsReparameterisesWithoutRecompiling)
+{
+    // One machine serving two incantation columns must match fresh
+    // machines built per column, draw for draw.
+    litmus::Test mp = pl::mp();
+    MachineOptions col16;
+    col16.inc = Incantations::fromColumn(16);
+    MachineOptions col1;
+    col1.inc = Incantations::fromColumn(1);
+
+    Machine shared(chip("Titan"), mp, col16);
+    Machine fresh16(chip("Titan"), mp, col16);
+    Machine fresh1(chip("Titan"), mp, col1);
+
+    Rng a(42), b(42);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(shared.run(a), fresh16.run(b));
+
+    shared.setOptions(col1);
+    Rng c(43), d(43);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(shared.run(c), fresh1.run(d));
+
+    shared.setOptions(col16);
+    Rng e(44), f(44);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(shared.run(e), fresh16.run(f));
+}
 
 } // namespace
 } // namespace gpulitmus::sim

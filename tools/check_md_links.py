@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Scans the given markdown files (or every ``*.md`` under given
+directories) for inline links and validates that every *local* target
+exists relative to the file containing the link. External schemes
+(http/https/mailto) are not fetched — CI must not depend on network
+weather. Fragment-only links (``#section``) are accepted.
+
+Usage: check_md_links.py FILE_OR_DIR [FILE_OR_DIR ...]
+Exits 1 listing every broken link, 0 when all resolve.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links: [text](target). Images share the syntax.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def collect(paths):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.md"))
+        else:
+            yield path
+
+
+def check(md: Path):
+    broken = []
+    text = md.read_text(encoding="utf-8")
+    # Fenced code blocks routinely contain example syntax that is not
+    # a real link; strip them before scanning.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        if not (md.parent / local).exists():
+            broken.append((md, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    seen = 0
+    for md in collect(argv[1:]):
+        if not md.exists():
+            print(f"error: no such file: {md}", file=sys.stderr)
+            return 2
+        seen += 1
+        broken.extend(check(md))
+    for md, target in broken:
+        print(f"BROKEN LINK: {md}: ({target})", file=sys.stderr)
+    print(f"checked {seen} markdown file(s), "
+          f"{len(broken)} broken link(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
