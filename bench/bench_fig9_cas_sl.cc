@@ -5,10 +5,14 @@
  * that acquires the lock can read a stale value of the data the
  * previous critical section wrote — the bug Nvidia's erratum [33]
  * acknowledges. With membar.gl fences the behaviour disappears.
+ *
+ * Driven through the Scenario API: the rows are the
+ * `scenario:cas_spinlock` registry scenario (whose forbidden
+ * condition is exactly the Fig. 9 stale read), so "observed" is
+ * wrong-lock-acquisitions per 100k.
  */
 
 #include "bench_util.h"
-#include "litmus/library.h"
 
 using namespace gpulitmus;
 
@@ -19,20 +23,21 @@ main()
         "Fig. 9 - PTX compare-and-swap spin lock (cas-sl)",
         "init: global x=0, m=1; T0: st.cg [x],1; [fence;]"
         " atom.exch r0,[m],0 || T1: atom.cas r1,[m],0,1; if acquired:"
-        " [fence;] ld.cg r3,[x]; final: r1=0 /\\ r3=0;"
-        " threads: inter-CTA");
+        " [fence;] ld.cg r3,[x]; forbidden: r1=0 /\\ r3=0;"
+        " threads: inter-CTA (scenario:cas_spinlock)");
 
     auto chips = benchutil::allResultChips();
     Table table;
     table.header(benchutil::chipHeader("variant", chips));
-    benchutil::obsRows(table, "cas-sl", litmus::paperlib::casSl(false),
-                       chips,
-                       {"0", "47", "43", "512", "0", "508", "748"},
-                       benchutil::config());
-    benchutil::obsRows(table, "cas-sl+fences",
-                       litmus::paperlib::casSl(true), chips,
-                       {"0", "0", "0", "0", "0", "0", "0"},
-                       benchutil::config());
+    benchutil::scenarioRows(table, "cas-sl", "scenario:cas_spinlock",
+                            chips,
+                            {"0", "47", "43", "512", "0", "508",
+                             "748"},
+                            benchutil::config());
+    benchutil::scenarioRows(table, "cas-sl+fences",
+                            "scenario:cas_spinlock,fenced=1", chips,
+                            {"0", "0", "0", "0", "0", "0", "0"},
+                            benchutil::config());
     table.print(std::cout);
     return 0;
 }

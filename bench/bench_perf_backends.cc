@@ -24,27 +24,18 @@
 #include "litmus/library.h"
 #include "model/checker.h"
 
+#include "bench_util.h"
+
 using namespace gpulitmus;
 
 namespace {
-
-uint64_t
-envOr(const char *name, uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (!v)
-        return fallback;
-    auto parsed = parseInt(v);
-    return parsed && *parsed > 0 ? static_cast<uint64_t>(*parsed)
-                                 : fallback;
-}
 
 } // namespace
 
 int
 main()
 {
-    uint64_t iters = envOr("GPULITMUS_BENCH_ITERS", 2000);
+    uint64_t iters = benchutil::envOr("GPULITMUS_BENCH_ITERS", 2000);
 
     const std::vector<std::string> backends =
         eval::builtinBackendNames();

@@ -25,28 +25,19 @@
 #include "litmus/library.h"
 #include "mc/explorer.h"
 
+#include "bench_util.h"
+
 using namespace gpulitmus;
 
 namespace {
-
-uint64_t
-envOr(const char *name, uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (!v)
-        return fallback;
-    auto parsed = parseInt(v);
-    return parsed && *parsed > 0 ? static_cast<uint64_t>(*parsed)
-                                 : fallback;
-}
 
 } // namespace
 
 int
 main()
 {
-    uint64_t iters = envOr("GPULITMUS_ITERS", 100000);
-    uint64_t budget = envOr("GPULITMUS_MC_BUDGET", 1u << 20);
+    uint64_t iters = harness::defaultIterations();
+    uint64_t budget = benchutil::envOr("GPULITMUS_MC_BUDGET", 1u << 20);
     const sim::ChipProfile &chip = sim::chip("Titan");
 
     struct Case

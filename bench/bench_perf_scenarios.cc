@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The application scenarios, sampled vs exact, head to head: every
+ * registry scenario (both fence variants) on the Tesla C2075 — one
+ * sampling sweep against one exhaustive exploration, with wall-clock
+ * and what each method concludes about the forbidden condition.
+ * Emits BENCH_scenarios.json.
+ *
+ * The point the numbers make: for the paper's application bugs an
+ * exploration that settles the question (a concrete wrong-result
+ * schedule, or a proof there is none over every terminating
+ * execution) costs the same order as — usually far less than — one
+ * sampling sweep that can only estimate a rate. GPULITMUS_ITERS
+ * scales the sampling side (spin-loop scenarios sample at a tenth of
+ * it, floor 1000, the straight-line ones at full count);
+ * GPULITMUS_MC_BUDGET the replay budget (default 1<<20).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/strutil.h"
+#include "common/table.h"
+#include "harness/campaign.h"
+#include "mc/explorer.h"
+#include "scenario/registry.h"
+
+#include "bench_util.h"
+
+using namespace gpulitmus;
+
+int
+main()
+{
+    uint64_t base_iters = harness::defaultIterations();
+    uint64_t budget = benchutil::envOr("GPULITMUS_MC_BUDGET", 1u << 20);
+    const sim::ChipProfile &chip = sim::chip("TesC");
+
+    std::cout << "registry scenarios: sampling vs exhaustive"
+                 " exploration, Tesla C2075 column 16\n\n";
+
+    Table table;
+    table.header({"scenario", "mc ms", "replays", "claim", "wrong",
+                  "sim ms", "iters", "obs/100k"});
+    std::vector<std::string> entries;
+    for (const auto &s : scenario::all()) {
+        for (int fenced = 0; fenced <= 1; ++fenced) {
+            std::string spec = "scenario:" + s.name +
+                               ",fenced=" + std::to_string(fenced);
+            std::string error;
+            auto built = scenario::buildSpec(spec, &error);
+            if (!built) {
+                std::cerr << "error: " << error << "\n";
+                return 1;
+            }
+
+            mc::ExploreOptions opts;
+            opts.machine.maxMicroSteps = built->maxMicroSteps;
+            opts.maxReplays = budget;
+            mc::Explorer explorer(chip, built->test, opts);
+            auto mc_start = std::chrono::steady_clock::now();
+            mc::ExploreResult exact = explorer.explore();
+            auto mc_end = std::chrono::steady_clock::now();
+            double mc_ms = std::chrono::duration<double, std::milli>(
+                               mc_end - mc_start)
+                               .count();
+
+            // Spin-loop scenarios cost ~10x a straight-line
+            // iteration; sample them at a tenth of the budget so the
+            // bench stays comparable cell to cell.
+            bool spins = built->maxMicroSteps > 4000;
+            uint64_t iters =
+                spins ? std::max<uint64_t>(1000, base_iters / 10)
+                      : base_iters;
+            harness::RunConfig cfg;
+            cfg.iterations = iters;
+            cfg.maxMicroSteps = built->maxMicroSteps;
+            auto sim_start = std::chrono::steady_clock::now();
+            litmus::Histogram hist =
+                harness::run(chip, built->test, cfg);
+            auto sim_end = std::chrono::steady_clock::now();
+            double sim_ms = std::chrono::duration<double, std::milli>(
+                                sim_end - sim_start)
+                                .count();
+            uint64_t per100k =
+                hist.total() > 0
+                    ? hist.observed() * 100000 / hist.total()
+                    : 0;
+
+            const char *claim =
+                !exact.satisfying.empty() ? "bug-reachable"
+                : exact.complete          ? "proven-safe"
+                : exact.fairComplete      ? "proven-safe-fair"
+                                          : "bounded";
+
+            char mc_buf[32], sim_buf[32];
+            std::snprintf(mc_buf, sizeof mc_buf, "%.2f", mc_ms);
+            std::snprintf(sim_buf, sizeof sim_buf, "%.2f", sim_ms);
+            table.row({built->test.name, mc_buf,
+                       std::to_string(exact.stats.replays), claim,
+                       std::to_string(exact.satisfying.size()),
+                       sim_buf, std::to_string(iters),
+                       std::to_string(per100k)});
+
+            std::string e = "{";
+            e += "\"scenario\":\"" + jsonEscape(s.name) + "\",";
+            e += "\"spec\":\"" + jsonEscape(spec) + "\",";
+            e += "\"test\":\"" + jsonEscape(built->test.name) + "\",";
+            e += "\"chip\":\"TesC\",";
+            e += "\"fenced\":" +
+                 std::string(fenced ? "true" : "false") + ",";
+            e += "\"mc_ms\":" + std::string(mc_buf) + ",";
+            e += "\"mc_replays\":" +
+                 std::to_string(exact.stats.replays) + ",";
+            e += "\"mc_states\":" +
+                 std::to_string(exact.stats.distinctStates) + ",";
+            e += "\"mc_complete\":" +
+                 std::string(exact.complete ? "true" : "false") + ",";
+            e += "\"mc_fair_complete\":" +
+                 std::string(exact.fairComplete ? "true" : "false") +
+                 ",";
+            e += "\"claim\":\"" + std::string(claim) + "\",";
+            e += "\"forbidden_reachable\":" +
+                 std::to_string(exact.satisfying.size()) + ",";
+            e += "\"sim_ms\":" + std::string(sim_buf) + ",";
+            e += "\"sim_iterations\":" + std::to_string(iters) + ",";
+            e += "\"wrong_per_100k\":" + std::to_string(per100k);
+            e += "}";
+            entries.push_back(std::move(e));
+
+            // The fence variants are the fixes: a reachable wrong
+            // result there is a simulator/scenario regression.
+            if (fenced && !exact.satisfying.empty()) {
+                std::cerr << "REGRESSION: " << built->test.name
+                          << " reaches its forbidden condition\n";
+                return 1;
+            }
+            // And the sampler must stay inside the explored set
+            // whenever the exploration is exact.
+            if (exact.complete) {
+                for (const auto &[key, count] : hist.counts()) {
+                    if (count > 0 && !exact.reachable(key)) {
+                        std::cerr << "INCONSISTENT: " << s.name
+                                  << " sampled '" << key
+                                  << "' outside the exact set\n";
+                        return 1;
+                    }
+                }
+            }
+        }
+    }
+    table.print(std::cout);
+
+    if (!writeJsonArrayFile("BENCH_scenarios.json", entries)) {
+        // Exit nonzero so CI artifact upload cannot silently skip
+        // the file.
+        std::cerr << "error: could not write BENCH_scenarios.json\n";
+        return 1;
+    }
+    std::cout << "\nwrote BENCH_scenarios.json (" << entries.size()
+              << " cells)\n";
+    return 0;
+}

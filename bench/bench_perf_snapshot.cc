@@ -35,20 +35,11 @@
 #include "litmus/library.h"
 #include "mc/explorer.h"
 
+#include "bench_util.h"
+
 using namespace gpulitmus;
 
 namespace {
-
-uint64_t
-envOr(const char *name, uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    if (!v)
-        return fallback;
-    auto parsed = parseInt(v);
-    return parsed && *parsed > 0 ? static_cast<uint64_t>(*parsed)
-                                 : fallback;
-}
 
 double
 explore(const litmus::Test &test, const sim::ChipProfile &chip,
@@ -72,7 +63,7 @@ int
 main()
 {
     const int reps =
-        static_cast<int>(envOr("GPULITMUS_SNAPSHOT_REPS", 3));
+        static_cast<int>(benchutil::envOr("GPULITMUS_SNAPSHOT_REPS", 3));
     const sim::ChipProfile &chip = sim::chip("Titan");
     const int column = 16;
 

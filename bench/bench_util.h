@@ -14,10 +14,12 @@
 #define GPULITMUS_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/strutil.h"
 #include "common/table.h"
 #include "harness/campaign.h"
 #include "harness/runner.h"
@@ -25,6 +27,20 @@
 #include "sim/chip.h"
 
 namespace gpulitmus::benchutil {
+
+/** Positive-integer environment override with a fallback (shared by
+ * the perf benches for their budget/rep knobs; iteration counts come
+ * from harness::defaultIterations). */
+inline uint64_t
+envOr(const char *name, uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    auto parsed = parseInt(v);
+    return parsed && *parsed > 0 ? static_cast<uint64_t>(*parsed)
+                                 : fallback;
+}
 
 inline harness::RunConfig
 config()
@@ -77,6 +93,26 @@ printHeader(const std::string &title, const std::string &what)
               << "=====================================================\n";
 }
 
+/** Run one per-chip campaign row and append the measured and paper
+ * rows; obsRows/scenarioRows differ only in how the test lands on
+ * the campaign. */
+inline void
+campaignRows(Table &table, const std::string &label,
+             harness::Campaign &campaign,
+             const std::vector<sim::ChipProfile> &chips,
+             const std::vector<std::string> &paper)
+{
+    auto results = campaign.overChips(chips).run(engine());
+    std::vector<std::string> measured{label + " (sim)"};
+    for (const auto &r : results)
+        measured.push_back(std::to_string(r.observedPer100k));
+    table.row(measured);
+    std::vector<std::string> reference{label + " (paper)"};
+    for (const auto &p : paper)
+        reference.push_back(p);
+    table.row(reference);
+}
+
 /** Append measured and paper rows for one test configuration. The
  * per-chip cells are one campaign batch, sharded across the engine's
  * worker pool. */
@@ -87,19 +123,24 @@ obsRows(Table &table, const std::string &label,
         const std::vector<std::string> &paper,
         const harness::RunConfig &cfg)
 {
-    auto results = harness::Campaign()
-                       .base(cfg)
-                       .test(test, label)
-                       .overChips(chips)
-                       .run(engine());
-    std::vector<std::string> measured{label + " (sim)"};
-    for (const auto &r : results)
-        measured.push_back(std::to_string(r.observedPer100k));
-    table.row(measured);
-    std::vector<std::string> reference{label + " (paper)"};
-    for (const auto &p : paper)
-        reference.push_back(p);
-    table.row(reference);
+    harness::Campaign campaign;
+    campaign.base(cfg).test(test, label);
+    campaignRows(table, label, campaign, chips, paper);
+}
+
+/** obsRows for a registry scenario spec: one campaign batch over the
+ * chips, measured row + paper row. The scenario's recommended
+ * micro-step cap rides along via Campaign::scenario. */
+inline void
+scenarioRows(Table &table, const std::string &label,
+             const std::string &spec,
+             const std::vector<sim::ChipProfile> &chips,
+             const std::vector<std::string> &paper,
+             const harness::RunConfig &cfg)
+{
+    harness::Campaign campaign;
+    campaign.base(cfg).scenario(spec);
+    campaignRows(table, label, campaign, chips, paper);
 }
 
 inline std::vector<std::string>

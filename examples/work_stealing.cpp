@@ -1,20 +1,21 @@
 /**
  * @file
  * Audit of the Cederman-Tsigas work-stealing deque (Fig. 6 /
- * Sec. 3.2.1, GPU Computing Gems): without fences the deque can lose
- * tasks in two distinct ways — a steal reading a stale task slot
- * (message passing, dlb-mp) and a steal racing a pop/push pair (load
- * buffering, dlb-lb).
+ * Sec. 3.2.1, GPU Computing Gems) through the Scenario API: the
+ * push/steal race is the `work_stealing_deque` registry scenario
+ * whose forbidden condition is a lost task. One campaign samples
+ * both fence variants across chips; the explorer settles the
+ * question exactly; and the TeraScale OpenCL compiler adds its own
+ * way of breaking the code.
  */
 
 #include <iostream>
 
-#include "cat/models.h"
-#include "cuda/apps.h"
 #include "cuda/snippets.h"
 #include "harness/campaign.h"
-#include "model/checker.h"
+#include "mc/explorer.h"
 #include "opt/amd.h"
+#include "scenario/catalog.h"
 
 using namespace gpulitmus;
 
@@ -24,67 +25,56 @@ main()
     std::cout << "Cederman-Tsigas deque (excerpt, original):\n"
               << cuda::dequeSource(false) << "\n";
 
-    model::Checker checker(cat::models::ptx());
-
-    struct Case
-    {
-        const char *what;
-        litmus::Test test;
-    };
-    std::vector<Case> cases = {
-        {"dlb-mp: steal sees the pushed tail but reads a stale task",
-         cuda::distillDequeMp(false)},
-        {"dlb-mp with the (+) fences", cuda::distillDequeMp(true)},
-        {"dlb-lb: steal obtains the task of a *later* push",
-         cuda::distillDequeLb(false)},
-        {"dlb-lb with the (+) fences", cuda::distillDequeLb(true)},
-    };
-
-    // All (case x chip) cells as one batched campaign; results come
-    // back in grid order (case outermost, chip innermost).
+    // Both variants across three chips as one campaign: observed =
+    // tasks lost per 100k push/steal races.
     std::vector<const char *> chips = {"TesC", "GTX6", "Titan"};
     harness::Campaign campaign;
     campaign.iterations(harness::defaultIterations())
         .overChips(std::vector<std::string>(chips.begin(),
-                                            chips.end()));
-    for (const auto &c : cases)
-        campaign.test(c.test);
+                                            chips.end()))
+        .scenario("scenario:work_stealing_deque")
+        .scenario("scenario:work_stealing_deque,fenced=1");
     harness::Engine engine;
     auto results = campaign.run(engine);
 
     size_t next = 0;
-    for (const auto &c : cases) {
-        std::cout << "=== " << c.what << " ===\n";
-        std::cout << "PTX model: "
-                  << (checker.allows(c.test) ? "ALLOWED" : "FORBIDDEN")
-                  << "\n";
+    for (bool fences : {false, true}) {
+        std::cout << "=== scenario: work_stealing_deque"
+                  << (fences ? ",fenced=1" : "")
+                  << " (steal sees the tail, reads a stale task)"
+                  << " ===\n";
         for (const char *chip : chips) {
             std::cout << "  " << chip << ": "
-                      << results[next++].observedPer100k << "/100k\n";
+                      << results[next++].observedPer100k
+                      << " tasks lost /100k\n";
         }
-        std::cout << "\n";
     }
 
-    // The TeraScale 2 OpenCL compiler breaks the test in a different
-    // way: it reorders the steal's load past the CAS.
+    // Exact verdicts: either a concrete task-losing schedule exists,
+    // or none does — no sampling luck involved.
+    std::cout << "exhaustive, on the GTX Titan:\n";
+    for (bool fences : {false, true}) {
+        litmus::Test test = scenario::workStealingDeque(fences);
+        mc::ExploreResult exact =
+            mc::Explorer(sim::chip("Titan"), test, {}).explore();
+        std::cout << "  " << (fences ? "with fences:   "
+                                     : "without fences:");
+        if (!exact.satisfying.empty())
+            std::cout << " task loss reachable (definitive)\n";
+        else if (exact.complete)
+            std::cout << " task loss unreachable, proven over every"
+                         " schedule\n";
+        else
+            std::cout << " no task loss within the budget\n";
+    }
+
+    // The TeraScale 2 OpenCL compiler breaks the deque in a
+    // different way: it reorders the steal's load past the CAS of
+    // the pop/steal pair (dlb-lb, Fig. 8).
     auto compiled = opt::amdCompile(cuda::distillDequeLb(false),
                                     sim::chip("HD6570"));
-    std::cout << "OpenCL on Radeon HD 6570:\n";
+    std::cout << "\nOpenCL on Radeon HD 6570:\n";
     for (const auto &q : compiled.quirks)
         std::cout << "  " << q << "\n";
-
-    // Client view: how often would a work-stealing runtime lose a
-    // task?
-    uint64_t iters = std::max<uint64_t>(
-        1000, harness::defaultIterations() / 10);
-    std::cout << "\nwork-stealing client on simulated GTX Titan ("
-              << iters << " push/steal races):\n";
-    for (bool fences : {false, true}) {
-        cuda::AppResult r =
-            cuda::runWorkStealing(sim::chip("Titan"), fences, iters);
-        std::cout << "  " << (fences ? "with fences:   "
-                                     : "without fences:")
-                  << " " << r.wrong << " tasks lost\n";
-    }
     return 0;
 }

@@ -1,90 +1,19 @@
 #include "cuda/apps.h"
 
-#include "common/log.h"
-#include "cuda/snippets.h"
-#include "litmus/test.h"
+#include "scenario/catalog.h"
 
 namespace gpulitmus::cuda {
 
-namespace {
-
-/** Build the locked-accumulation program for one thread. */
-std::string
-dotProductThread(int tid, bool with_fences)
+litmus::Test
+dotProductTest(int num_threads, bool with_fences)
 {
-    std::string f = with_fences ? "membar.gl;" : "";
-    std::string body;
-    body += "LOCK: atom.cas r0,[m],0,1;";
-    body += "setp.ne p0,r0,0;";
-    body += "@p0 bra LOCK;";
-    body += f; // lock-side fence (Fig. 2 line 3 (+))
-    body += "ld.cg r1,[sum];";
-    body += "add r2,r1," + std::to_string(tid + 1) + ";";
-    body += "st.cg [sum],r2;";
-    body += f; // unlock-side fence (Fig. 2 line 5 (+))
-    body += "atom.exch r3,[m],0;";
-    return body;
+    return scenario::spinlockDotProduct(num_threads, with_fences);
 }
 
-} // anonymous namespace
-
-AppResult
-runDotProduct(const sim::ChipProfile &chip, int num_threads,
-              bool with_fences, uint64_t iterations, uint64_t seed)
+litmus::Test
+workStealingTest(bool with_fences)
 {
-    if (num_threads < 2 || num_threads > 6)
-        fatal("runDotProduct supports 2..6 threads, got %d",
-              num_threads);
-
-    int64_t expected = 0;
-    litmus::TestBuilder builder(with_fences ? "dot-product+fences"
-                                            : "dot-product");
-    builder.global("sum", 0).global("m", 0);
-    for (int t = 0; t < num_threads; ++t) {
-        builder.thread(dotProductThread(t, with_fences));
-        expected += t + 1;
-    }
-    builder.interCta();
-    builder.exists("sum=" + std::to_string(expected));
-    litmus::Test test = builder.build();
-
-    sim::MachineOptions opts;
-    opts.inc = sim::Incantations::all();
-    opts.maxMicroSteps = 20000; // spin loops need headroom
-    sim::Machine machine(chip, test, opts);
-    Rng rng(seed);
-
-    AppResult result;
-    for (uint64_t i = 0; i < iterations; ++i) {
-        litmus::FinalState st = machine.run(rng);
-        ++result.runs;
-        if (st.loc("sum") != expected)
-            ++result.wrong;
-    }
-    return result;
-}
-
-AppResult
-runWorkStealing(const sim::ChipProfile &chip, bool with_fences,
-                uint64_t iterations, uint64_t seed)
-{
-    litmus::Test test = distillDequeMp(with_fences);
-
-    sim::MachineOptions opts;
-    opts.inc = sim::Incantations::all();
-    sim::Machine machine(chip, test, opts);
-    Rng rng(seed);
-
-    AppResult result;
-    for (uint64_t i = 0; i < iterations; ++i) {
-        litmus::FinalState st = machine.run(rng);
-        ++result.runs;
-        // The thief saw the pushed tail but read an empty task slot:
-        // the deque lost a task.
-        if (st.reg(1, "r0") == 1 && st.reg(1, "r1") == 0)
-            ++result.wrong;
-    }
-    return result;
+    return scenario::workStealingDeque(with_fences);
 }
 
 } // namespace gpulitmus::cuda

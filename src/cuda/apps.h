@@ -3,44 +3,43 @@
  * Whole-application clients demonstrating end-to-end consequences of
  * the weak behaviours (Sec. 3.2): the dot-product reduction of CUDA
  * by Example App 1.2, whose per-CTA sums are merged under the spin
- * lock of Fig. 2, computes wrong results when the lock lacks fences;
- * and the work-stealing deque loses tasks.
+ * lock of Fig. 2, and the Cederman-Tsigas work-stealing deque.
+ *
+ * Since the Scenario API redesign these clients *are* registry
+ * scenarios (scenario/catalog.h): each returns a litmus::Test whose
+ * forbidden final condition is the application bug ("the sum is
+ * wrong", "a task was lost"), so the clients run under
+ * harness::Campaign grids, all eval backends and the exhaustive
+ * explorer like any other test — the old bespoke AppResult sampling
+ * loops are gone. These wrappers exist to keep the CUDA provenance
+ * (Tab. 5, cuda/snippets.h) and the scenario registry pointing at
+ * the same artefacts; they are the same functions the registry specs
+ * `scenario:spinlock_dot_product` / `scenario:work_stealing_deque`
+ * resolve to.
  */
 
 #ifndef GPULITMUS_CUDA_APPS_H
 #define GPULITMUS_CUDA_APPS_H
 
-#include <cstdint>
-
-#include "sim/chip.h"
-#include "sim/machine.h"
+#include "litmus/test.h"
 
 namespace gpulitmus::cuda {
 
-struct AppResult
-{
-    uint64_t runs = 0;
-    uint64_t wrong = 0; ///< runs with an incorrect final result
-};
-
 /**
- * The dot-product client: num_threads CTAs each add their local sum
- * (thread id + 1) to a global accumulator under the spin lock, then
- * the final sum is checked against the closed form. Without fences
- * the lock admits stale reads of the accumulator, losing updates.
+ * The dot-product client: `num_threads` CTAs (2..6) each add their
+ * local sum (tid + 1) to a global accumulator under the full spin
+ * lock of Fig. 2. Forbidden condition: the final sum is wrong.
+ * Equals scenario::spinlockDotProduct.
  */
-AppResult runDotProduct(const sim::ChipProfile &chip, int num_threads,
-                        bool with_fences, uint64_t iterations,
-                        uint64_t seed = 0xd07);
+litmus::Test dotProductTest(int num_threads, bool with_fences);
 
 /**
  * The work-stealing client: an owner pushes a task while a thief
- * steals concurrently; a "lost" run is one where the thief observed
- * the pushed tail but read a stale (empty) task slot.
+ * steals concurrently. Forbidden condition: the thief observed the
+ * pushed tail but read a stale (empty) task slot — a lost task.
+ * Equals scenario::workStealingDeque.
  */
-AppResult runWorkStealing(const sim::ChipProfile &chip,
-                          bool with_fences, uint64_t iterations,
-                          uint64_t seed = 0xdec);
+litmus::Test workStealingTest(bool with_fences);
 
 } // namespace gpulitmus::cuda
 

@@ -137,6 +137,21 @@ AxiomBackend::evaluate(const EvalJob &job) const
     result.job = owned;
     result.backend = name();
 
+    // Out-of-scope tests (.ca/volatile/loops, model::inModelScope)
+    // get an explicit refusal instead of an enumeration the model
+    // has nothing to say about — and, for looped programs, one that
+    // would not terminate in useful time. The engine stays total
+    // over arbitrary (scenario) grids; conformance joins skip these.
+    if (!model::inModelScope(owned->test)) {
+        model::Verdict v;
+        v.testName = owned->test.name;
+        v.modelName = name();
+        v.outOfScope = true;
+        v.verdict = "out-of-scope (.ca/volatile/loops, Sec. 5.5)";
+        result.verdict = std::move(v);
+        return result;
+    }
+
     auto start = std::chrono::steady_clock::now();
     model::Checker checker(*model_, opts_);
     result.verdict = checker.check(owned->test);
@@ -415,7 +430,9 @@ ConformanceSink::add(const EvalResult &result)
                                result.job->test.str()});
         }
     }
-    if (result.hasVerdict())
+    // Out-of-scope refusals never join: the model said nothing, so
+    // the cell must not read as trivially sound (or unsound).
+    if (result.hasVerdict() && !result.verdict->outOfScope)
         verdicts_[result.job->test.str()][result.backend] =
             *result.verdict;
 }

@@ -1,5 +1,6 @@
 #include "harness/campaign.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -14,8 +15,46 @@
 #include "common/log.h"
 #include "common/strutil.h"
 #include "common/table.h"
+#include "scenario/registry.h"
 
 namespace gpulitmus::harness {
+
+// ---- single-shot wrappers (formerly harness/runner.cc) --------------
+
+uint64_t
+defaultIterations()
+{
+    const char *env = std::getenv("GPULITMUS_ITERS");
+    if (!env)
+        return 100000;
+    auto v = parseInt(env);
+    if (!v || *v <= 0) {
+        warn("ignoring invalid GPULITMUS_ITERS='%s'", env);
+        return 100000;
+    }
+    return static_cast<uint64_t>(*v);
+}
+
+litmus::Histogram
+run(const sim::ChipProfile &chip, const litmus::Test &test,
+    const RunConfig &config)
+{
+    // One-job campaign. The RNG stream is derived from the job key
+    // (splitmix64 over base seed, chip, test and incantation column),
+    // so this cell is bit-identical to the same cell in any batched
+    // sweep, at any thread count.
+    JobResult result = runJob(Job::fromConfig(chip, test, config));
+    litmus::Histogram hist = std::move(result.hist);
+    hist.rebind(test);
+    return hist;
+}
+
+uint64_t
+observePer100k(const sim::ChipProfile &chip, const litmus::Test &test,
+               const RunConfig &config)
+{
+    return runJob(Job::fromConfig(chip, test, config)).observedPer100k;
+}
 
 uint64_t
 splitmix64(uint64_t x)
@@ -473,6 +512,28 @@ Campaign::test(const litmus::Test &t, const std::string &label)
 }
 
 Campaign &
+Campaign::scenario(const std::string &spec)
+{
+    std::string error;
+    auto built = gpulitmus::scenario::buildSpec(spec, &error);
+    if (!built)
+        fatal("%s", error.c_str());
+    // No explicit label: the built test's name already carries the
+    // scenario id and its parameters ("spinlock_dot_product+t3").
+    tests_.push_back({std::move(built->test), "",
+                      built->maxMicroSteps});
+    return *this;
+}
+
+Campaign &
+Campaign::overScenarios(const std::vector<std::string> &specs)
+{
+    for (const auto &spec : specs)
+        scenario(spec);
+    return *this;
+}
+
+Campaign &
 Campaign::add(Job job)
 {
     extra_.push_back(std::move(job));
@@ -507,7 +568,8 @@ Campaign::jobs() const
                     job.inc = inc;
                     job.iterations = iterations_;
                     job.seed = seed_;
-                    job.maxMicroSteps = maxMicroSteps_;
+                    job.maxMicroSteps =
+                        std::max(maxMicroSteps_, lt.minMicroSteps);
                     job.label = lt.label;
                     out.push_back(std::move(job));
                 }

@@ -44,12 +44,48 @@
 
 #include "common/table.h"
 #include "harness/batch.h"
-#include "harness/runner.h"
 #include "litmus/outcome.h"
 #include "sim/chip.h"
 #include "sim/machine.h"
 
 namespace gpulitmus::harness {
+
+// ---- single-shot interface (formerly harness/runner.h) --------------
+
+/** Parameters of one simulated cell (Sec. 4.2/4.3). */
+struct RunConfig
+{
+    /** Number of iterations; the paper uses 100k. */
+    uint64_t iterations = 100000;
+    /** Base RNG seed; every run is reproducible. The per-cell stream
+     * is derived from this plus the chip/test/incantation key. */
+    uint64_t seed = 0x6c69746d7573ULL; // "litmus"
+    /** Incantation combination (Sec. 4.3). */
+    sim::Incantations inc = sim::Incantations::all();
+    /** Per-iteration machine limits. */
+    int maxMicroSteps = 4000;
+};
+
+/**
+ * Iteration count from the GPULITMUS_ITERS environment variable, or
+ * the paper's 100k when unset. Benchmarks use this so CI can dial the
+ * runtime down.
+ */
+uint64_t defaultIterations();
+
+/** Run a test on a chip; returns the full histogram. Thin wrapper
+ * over a one-job campaign: the cell is bit-identical — same
+ * splitmix64-derived RNG stream — to the same cell inside a batched,
+ * multi-threaded sweep. */
+litmus::Histogram run(const sim::ChipProfile &chip,
+                      const litmus::Test &test,
+                      const RunConfig &config = {});
+
+/** Shorthand: number of runs whose final state satisfied the
+ * condition body, normalised to per-100k ("obs/100k"). */
+uint64_t observePer100k(const sim::ChipProfile &chip,
+                        const litmus::Test &test,
+                        const RunConfig &config = {});
 
 /** splitmix64 finaliser (Steele, Lea & Flood): a full-avalanche 64-bit
  * mix used to derive per-job seeds and hash job keys. */
@@ -307,6 +343,17 @@ class Campaign
     Campaign &overTests(const std::vector<litmus::Test> &tests);
     /** Add one test to the test axis, with an explicit label. */
     Campaign &test(const litmus::Test &t, const std::string &label = "");
+    /**
+     * Add a registry scenario to the test axis by spec
+     * ("scenario:<name>[,k=v...]", scenario/registry.h). The
+     * scenario's recommended micro-step cap (spin-loop headroom) is
+     * applied to its grid jobs when it exceeds the campaign base.
+     * Unknown names/params are fatal; use scenario::buildSpec
+     * directly for recoverable validation.
+     */
+    Campaign &scenario(const std::string &spec);
+    /** scenario() over a list of specs. */
+    Campaign &overScenarios(const std::vector<std::string> &specs);
 
     /** Append a fully-specified job outside the grid. */
     Campaign &add(Job job);
@@ -327,6 +374,9 @@ class Campaign
     {
         litmus::Test test;
         std::string label;
+        /** Per-test micro-step floor (0: campaign base). Registry
+         * scenarios with spin loops raise it. */
+        int minMicroSteps = 0;
     };
 
     uint64_t iterations_ = 100000;

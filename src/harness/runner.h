@@ -1,62 +1,14 @@
 /**
  * @file
- * The single-shot harness interface (Sec. 4.2/4.3): run one litmus
- * test many times on one simulated chip under one incantation
- * combination and collect the outcome histogram, exactly as the
- * paper's tool does on real hardware.
- *
- * Since the campaign redesign these free functions are thin wrappers
- * over a one-job campaign: `run` builds a `harness::Job` from its
- * arguments and executes it via `harness::runJob` (see campaign.h),
- * so a cell computed here is bit-identical — same splitmix64-derived
- * RNG stream — to the same cell inside a batched, multi-threaded
- * `Campaign` sweep. Use a Campaign directly for anything that touches
- * more than a couple of cells; use these wrappers for one-off runs.
+ * Forwarding shim: the single-shot harness interface (RunConfig,
+ * defaultIterations, run, observePer100k) now lives in
+ * harness/campaign.h, next to the Job/Campaign machinery it wraps.
+ * Include that header directly in new code.
  */
 
 #ifndef GPULITMUS_HARNESS_RUNNER_H
 #define GPULITMUS_HARNESS_RUNNER_H
 
-#include <cstdint>
-
-#include "litmus/outcome.h"
-#include "sim/chip.h"
-#include "sim/machine.h"
-
-namespace gpulitmus::harness {
-
-struct RunConfig
-{
-    /** Number of iterations; the paper uses 100k. */
-    uint64_t iterations = 100000;
-    /** Base RNG seed; every run is reproducible. The per-cell stream
-     * is derived from this plus the chip/test/incantation key. */
-    uint64_t seed = 0x6c69746d7573ULL; // "litmus"
-    /** Incantation combination (Sec. 4.3). */
-    sim::Incantations inc = sim::Incantations::all();
-    /** Per-iteration machine limits. */
-    int maxMicroSteps = 4000;
-};
-
-/**
- * Iteration count from the GPULITMUS_ITERS environment variable, or
- * the paper's 100k when unset. Benchmarks use this so CI can dial the
- * runtime down.
- */
-uint64_t defaultIterations();
-
-/** Run a test on a chip; returns the full histogram. Wrapper over a
- * one-job campaign (campaign.h). */
-litmus::Histogram run(const sim::ChipProfile &chip,
-                      const litmus::Test &test,
-                      const RunConfig &config = {});
-
-/** Shorthand: number of runs whose final state satisfied the
- * condition body, normalised to per-100k ("obs/100k"). */
-uint64_t observePer100k(const sim::ChipProfile &chip,
-                        const litmus::Test &test,
-                        const RunConfig &config = {});
-
-} // namespace gpulitmus::harness
+#include "harness/campaign.h"
 
 #endif // GPULITMUS_HARNESS_RUNNER_H

@@ -176,10 +176,13 @@ struct Explorer::Impl final : sim::ChoiceProvider
     std::string scratch;            ///< debug-mode string encoding
     std::vector<uint32_t> candsScratch;
     std::vector<uint8_t> sleepScratch;
-    /** A step guard fired, or a state cut merged states at different
-     * distances to one: the result is a sound lower bound, but
-     * "exact" can no longer be claimed. */
-    bool guardSensitive = false;
+    /** A state cut merged states at different fetch counts (a spin
+     * loop): "exact" demotes to "exact for terminating executions"
+     * (ExploreResult::fairComplete). */
+    bool loopDedup = false;
+    /** A replay actually ran into the runaway guard and recorded a
+     * truncated final state: even the fair-schedule claim is gone. */
+    bool truncatedLeaf = false;
 
     Impl(const sim::ChipProfile &chip, const litmus::Test &t,
          ExploreOptions o)
@@ -324,7 +327,7 @@ struct Explorer::Impl final : sim::ChoiceProvider
                 // guard's distance, so cut — the search terminates —
                 // but the exactness claim is gone.
                 if (hit->executedSig != sig)
-                    guardSensitive = true;
+                    loopDedup = true;
                 if (hit->black)
                     return cutRun(&hit->finals, SIZE_MAX);
                 return cutRun(nullptr, hit->greyDepth);
@@ -616,7 +619,7 @@ struct Explorer::Impl final : sim::ChoiceProvider
                 // reachable) outcome and is recorded, but the tree
                 // beyond the guard was not enumerated: bounded.
                 if (machine.lastRunTruncated())
-                    guardSensitive = true;
+                    truncatedLeaf = true;
             }
             drained = backtrack();
         }
@@ -630,7 +633,10 @@ struct Explorer::Impl final : sim::ChoiceProvider
         result.testName = test->name;
         result.chipName = machine.chip().shortName;
         result.column = opts.machine.inc.column();
-        result.complete = complete && !guardSensitive;
+        result.complete = complete && !loopDedup && !truncatedLeaf;
+        // Drained with loop-dedup cuts as the only caveat: exact for
+        // every execution whose spin loops terminate.
+        result.fairComplete = complete && !truncatedLeaf;
         // Un-intern the dense accounting back into the string-keyed
         // result shape the eval layer consumes.
         for (uint32_t id = 0; id < rootFinals.size(); ++id) {
@@ -690,7 +696,7 @@ ExploreResult::verdict(const litmus::Test &test) const
     }
     std::string v = ok ? "Ok" : "No";
     if (!complete)
-        v += " (bounded)";
+        v += fairComplete ? " (fair)" : " (bounded)";
     return v;
 }
 
@@ -701,8 +707,10 @@ ExploreResult::str() const
     out += "Exploration " + testName + "@" + chipName + " (column " +
            std::to_string(column) + ")\n";
     out += (complete ? std::string("complete: ")
-                     : std::string(
-                           "BOUNDED (budget or loop guard): ")) +
+            : fairComplete
+                ? std::string("complete for terminating executions"
+                              " (spin-loop dedup): ")
+                : std::string("BOUNDED (budget or loop guard): ")) +
            std::to_string(finals.size()) + " reachable states, " +
            std::to_string(paths) + " paths\n";
     for (const auto &[key, weight] : finals) {

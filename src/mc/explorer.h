@@ -125,6 +125,20 @@ struct ExploreResult
      * is a sound lower bound ("bounded" verdict). */
     bool complete = false;
 
+    /**
+     * True when the tree was drained and the only exactness caveat is
+     * spin-loop dedup (revisits of an equal machine state at a
+     * different fetch count — see the runaway-guard discussion in
+     * mc/explorer.cc). `finals` is then the exact reachable set of
+     * the machine with an *unbounded* step guard: every execution in
+     * which all spin loops terminate reaches one of these states and
+     * no other. This is the strongest claim an exploration can make
+     * about a spin-loop scenario — the sampler's runaway guard is the
+     * only behaviour it does not cover. Implies nothing extra for
+     * loop-free tests, where it equals `complete`.
+     */
+    bool fairComplete = false;
+
     /** Reachable final states: outcome key (litmus::Histogram::keyFor
      * format, the same keys model verdicts use) -> number of explored
      * choice paths producing it. The weight is structural — how many

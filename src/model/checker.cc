@@ -113,6 +113,12 @@ inModelScope(const litmus::Test &test)
             if (in.isMemAccess() &&
                 (in.cacheOp == ptx::CacheOp::Ca || in.isVolatile))
                 return false;
+            // Branches mean loops (spin-lock scenarios): the
+            // axiomatic side enumerates finite executions only, so
+            // looped programs are outside the model scope — the
+            // paper distills them away (Tab. 5) before evaluation.
+            if (in.op == ptx::Opcode::Bra)
+                return false;
         }
     }
     return true;

@@ -49,6 +49,11 @@ struct Verdict
      * name of the check that kills it. */
     std::optional<axiom::Execution> forbiddenWitness;
     std::string forbiddingCheck;
+
+    /** The test is outside the model's scope (inModelScope): the
+     * backend returned without enumerating; every count is zero and
+     * `verdict` says so. Conformance joins skip such verdicts. */
+    bool outOfScope = false;
 };
 
 /**
@@ -85,10 +90,14 @@ size_t enumerationCacheSize();
 void clearEnumerationCache();
 
 /**
- * The model's experimental scope (Sec. 5.5): it covers accesses with
- * the .cg operator only. Tests touching .ca (L1) or volatile accesses
- * are outside it — no fence restores .ca ordering on Fermi — and are
- * excluded from validation, exactly as in the paper.
+ * The model's experimental scope (Sec. 5.5 / Sec. 2.3): it covers
+ * loop-free programs over accesses with the .cg operator only. Tests
+ * touching .ca (L1) or volatile accesses are outside it — no fence
+ * restores .ca ordering on Fermi — and so are programs with branches
+ * (spin-loop scenarios): the axiomatic side enumerates finite
+ * executions, and the paper distills loops away (Tab. 5) before any
+ * model evaluation. Both are excluded from validation, exactly as in
+ * the paper.
  */
 bool inModelScope(const litmus::Test &test);
 

@@ -42,6 +42,14 @@ removeFencesBetweenLoads(ptx::ThreadProgram &prog,
                 " loads");
             prog.instrs.erase(prog.instrs.begin() +
                               static_cast<std::ptrdiff_t>(i));
+            // Labels bind instruction indices: everything past the
+            // erased slot shifts down, or spin-loop branch targets
+            // in labelled programs (scenarios) would silently land
+            // one instruction late.
+            for (auto &[name, idx] : prog.labels) {
+                if (idx > static_cast<int>(i))
+                    --idx;
+            }
             --i;
             changed = true;
         }

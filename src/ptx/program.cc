@@ -18,7 +18,17 @@ ThreadProgram::label(const std::string &name)
 {
     if (labels.count(name))
         fatal("duplicate label '%s'", name.c_str());
-    labels[name] = static_cast<int>(instrs.size());
+    // One label per instruction: the printers render a label as a
+    // single "name:" prefix, so a second binding to the same index
+    // would be silently dropped on a print/reparse round trip.
+    // Reject it here instead.
+    int idx = static_cast<int>(instrs.size());
+    for (const auto &[other, other_idx] : labels) {
+        if (other_idx == idx)
+            fatal("labels '%s' and '%s' bind the same instruction",
+                  other.c_str(), name.c_str());
+    }
+    labels[name] = idx;
 }
 
 int
@@ -58,14 +68,30 @@ Program::numInstructions() const
 std::string
 Program::str() const
 {
-    // Render threads as side-by-side columns.
+    // Render threads as side-by-side columns. Labels print as a
+    // "name:" prefix on the instruction they bind to (trailing
+    // labels as a row of their own), which is exactly the form
+    // ptx::parseThread accepts — so labelled programs survive the
+    // print/reparse round trip like straight-line ones do.
     std::vector<std::vector<std::string>> cols;
     size_t max_rows = 0;
     for (size_t t = 0; t < threads.size(); ++t) {
+        std::map<int, std::string> by_index;
+        for (const auto &[name, idx] : threads[t].labels)
+            by_index[idx] = name;
         std::vector<std::string> col;
         col.push_back("T" + std::to_string(t));
-        for (const auto &i : threads[t].instrs)
-            col.push_back(i.str());
+        for (size_t i = 0; i < threads[t].instrs.size(); ++i) {
+            std::string cell = threads[t].instrs[i].str();
+            auto it = by_index.find(static_cast<int>(i));
+            if (it != by_index.end())
+                cell = it->second + ": " + cell;
+            col.push_back(std::move(cell));
+        }
+        auto trailing =
+            by_index.find(static_cast<int>(threads[t].instrs.size()));
+        if (trailing != by_index.end())
+            col.push_back(trailing->second + ":");
         max_rows = std::max(max_rows, col.size());
         cols.push_back(std::move(col));
     }

@@ -26,7 +26,10 @@ struct ThreadProgram
     /** Append an instruction; returns its index. */
     int append(Instruction instr);
 
-    /** Bind a label to the next appended instruction. */
+    /** Bind a label to the next appended instruction. At most one
+     * label per instruction (fatal otherwise): the printers render
+     * labels as a single "name:" prefix, so a second binding could
+     * not survive a print/reparse round trip. */
     void label(const std::string &name);
 
     /** Resolve a label or panic. */

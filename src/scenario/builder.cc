@@ -1,0 +1,406 @@
+#include "scenario/builder.h"
+
+#include "common/log.h"
+
+namespace gpulitmus::scenario {
+
+using ptx::Operand;
+
+// ---- Cond -----------------------------------------------------------
+
+Cond
+operator&&(const Cond &a, const Cond &b)
+{
+    return Cond(litmus::Condition::conj(a.cond_, b.cond_));
+}
+
+Cond
+operator||(const Cond &a, const Cond &b)
+{
+    return Cond(litmus::Condition::disj(a.cond_, b.cond_));
+}
+
+Cond
+operator!(const Cond &a)
+{
+    return Cond(litmus::Condition::negate(a.cond_));
+}
+
+Cond
+operator==(const Reg &r, int64_t v)
+{
+    return Cond(litmus::Condition::regEq(r.tid(), r.name(), v));
+}
+
+Cond
+operator!=(const Reg &r, int64_t v)
+{
+    return !(r == v);
+}
+
+Cond
+operator==(const Loc &l, int64_t v)
+{
+    return Cond(litmus::Condition::locEq(l.name(), v));
+}
+
+Cond
+operator!=(const Loc &l, int64_t v)
+{
+    return !(l == v);
+}
+
+// ---- Thread ---------------------------------------------------------
+
+Reg
+Thread::reg(const std::string &name)
+{
+    regNames_.insert(name);
+    return Reg(tid_, name);
+}
+
+Thread &
+Thread::append(ptx::Instruction instr)
+{
+    prog_.append(std::move(instr));
+    return *this;
+}
+
+ptx::Instruction &
+Thread::last(const char *modifier)
+{
+    if (prog_.instrs.empty())
+        fatal("scenario '%s': T%d applies .%s() before any op",
+              owner_->name_.c_str(), tid_, modifier);
+    return prog_.instrs.back();
+}
+
+Reg
+Thread::scratch()
+{
+    for (;;) {
+        std::string name = "r" + std::to_string(nextScratch_++);
+        if (!regNames_.count(name))
+            return reg(name);
+    }
+}
+
+Thread &
+Thread::ld(const Reg &dst, const Loc &src)
+{
+    if (dst.tid() != tid_)
+        fatal("scenario '%s': T%d loads into T%d's register %s",
+              owner_->name_.c_str(), tid_, dst.tid(),
+              dst.name().c_str());
+    return append(
+        ptx::build::ld(dst.name(), Operand::makeSym(src.name())));
+}
+
+Thread &
+Thread::st(const Loc &dst, const Val &value)
+{
+    return append(ptx::build::st(Operand::makeSym(dst.name()),
+                                 value.operand()));
+}
+
+Thread &
+Thread::cas(const Reg &dst, const Loc &l, const Val &cmp,
+            const Val &swap)
+{
+    return append(ptx::build::atomCas(dst.name(),
+                                      Operand::makeSym(l.name()),
+                                      cmp.operand(), swap.operand()));
+}
+
+Thread &
+Thread::exch(const Reg &dst, const Loc &l, const Val &value)
+{
+    return append(ptx::build::atomExch(
+        dst.name(), Operand::makeSym(l.name()), value.operand()));
+}
+
+Thread &
+Thread::inc(const Reg &dst, const Loc &l)
+{
+    return append(
+        ptx::build::atomInc(dst.name(), Operand::makeSym(l.name())));
+}
+
+Thread &
+Thread::membar(ptx::Scope scope)
+{
+    return append(ptx::build::membar(scope));
+}
+
+Thread &
+Thread::mov(const Reg &dst, const Val &v)
+{
+    return append(ptx::build::mov(dst.name(), v.operand()));
+}
+
+Thread &
+Thread::add(const Reg &dst, const Val &a, const Val &b)
+{
+    return append(
+        ptx::build::add(dst.name(), a.operand(), b.operand()));
+}
+
+Thread &
+Thread::and_(const Reg &dst, const Val &a, const Val &b)
+{
+    return append(
+        ptx::build::and_(dst.name(), a.operand(), b.operand()));
+}
+
+Thread &
+Thread::xor_(const Reg &dst, const Val &a, const Val &b)
+{
+    return append(
+        ptx::build::xor_(dst.name(), a.operand(), b.operand()));
+}
+
+Thread &
+Thread::setpEq(const Reg &pred, const Val &a, const Val &b)
+{
+    return append(
+        ptx::build::setpEq(pred.name(), a.operand(), b.operand()));
+}
+
+Thread &
+Thread::setpNe(const Reg &pred, const Val &a, const Val &b)
+{
+    ptx::Instruction i =
+        ptx::build::setpEq(pred.name(), a.operand(), b.operand());
+    i.op = ptx::Opcode::SetpNe;
+    return append(std::move(i));
+}
+
+Thread &
+Thread::label(const std::string &name)
+{
+    prog_.label(name);
+    return *this;
+}
+
+Thread &
+Thread::branch(const std::string &target)
+{
+    return append(ptx::build::bra(target));
+}
+
+Thread &
+Thread::branchIf(const Reg &pred, const std::string &target)
+{
+    return append(ptx::build::guarded(pred.name(), false,
+                                      ptx::build::bra(target)));
+}
+
+Thread &
+Thread::branchIfNot(const Reg &pred, const std::string &target)
+{
+    return append(ptx::build::guarded(pred.name(), true,
+                                      ptx::build::bra(target)));
+}
+
+Thread &
+Thread::volatile_()
+{
+    ptx::Instruction &i = last("volatile_");
+    if (i.op != ptx::Opcode::Ld && i.op != ptx::Opcode::St)
+        fatal("scenario '%s': .volatile_() on a non-ld/st op",
+              owner_->name_.c_str());
+    i.isVolatile = true;
+    i.cacheOp = ptx::CacheOp::None; // Tab. 5: volatile has no .cg/.ca
+    return *this;
+}
+
+Thread &
+Thread::ca()
+{
+    last("ca").cacheOp = ptx::CacheOp::Ca;
+    return *this;
+}
+
+Thread &
+Thread::cg()
+{
+    last("cg").cacheOp = ptx::CacheOp::Cg;
+    return *this;
+}
+
+Thread &
+Thread::cv()
+{
+    last("cv").cacheOp = ptx::CacheOp::Cv;
+    return *this;
+}
+
+Thread &
+Thread::scope(ptx::Scope s)
+{
+    last("scope").scope = s;
+    return *this;
+}
+
+Thread &
+Thread::onlyIf(const Reg &pred)
+{
+    ptx::Instruction &i = last("onlyIf");
+    i.hasGuard = true;
+    i.guardNegated = false;
+    i.guardReg = pred.name();
+    return *this;
+}
+
+Thread &
+Thread::unless(const Reg &pred)
+{
+    ptx::Instruction &i = last("unless");
+    i.hasGuard = true;
+    i.guardNegated = true;
+    i.guardReg = pred.name();
+    return *this;
+}
+
+Thread &
+Thread::dependsOn(const Reg &src)
+{
+    ptx::Instruction target = last("dependsOn");
+    if (!target.isMemAccess())
+        fatal("scenario '%s': .dependsOn() on a non-memory op",
+              owner_->name_.c_str());
+    prog_.instrs.pop_back();
+
+    // Fig. 13 shapes, matching gen/generator.cc: mask the source to
+    // zero, then route the value (data dep) or the address (addr
+    // dep) through the masked register.
+    Reg rz = scratch();
+    append(ptx::build::and_(rz.name(),
+                            Operand::makeReg(src.name()),
+                            Operand::makeImm(0x80000000)));
+    if (target.op == ptx::Opcode::St) {
+        Reg rv = scratch();
+        ptx::Instruction addv = ptx::build::add(
+            rv.name(), Operand::makeReg(rz.name()), target.srcs[0]);
+        addv.type = ptx::DataType::S32;
+        append(std::move(addv));
+        target.srcs[0] = Operand::makeReg(rv.name());
+    } else {
+        if (!target.addr.isSym())
+            fatal("scenario '%s': address dependency needs a"
+                  " location-addressed access",
+                  owner_->name_.c_str());
+        Reg rw = scratch();
+        Reg ra = scratch();
+        owner_->regInits_.push_back(
+            {tid_, ra.name(), true, target.addr.sym, 0});
+        append(ptx::build::cvt(rw.name(), Operand::makeReg(rz.name())));
+        ptx::Instruction adda = ptx::build::add(
+            ra.name(), Operand::makeReg(ra.name()),
+            Operand::makeReg(rw.name()));
+        adda.type = ptx::DataType::U64;
+        append(std::move(adda));
+        target.addr = Operand::makeReg(ra.name());
+    }
+    return append(std::move(target));
+}
+
+// ---- Builder --------------------------------------------------------
+
+Builder::Builder(std::string name) : name_(std::move(name)) {}
+
+Loc
+Builder::global(const std::string &name, int64_t init)
+{
+    locations_.push_back({name, litmus::MemSpace::Global, init});
+    return Loc(name);
+}
+
+Loc
+Builder::shared(const std::string &name, int64_t init)
+{
+    locations_.push_back({name, litmus::MemSpace::Shared, init});
+    return Loc(name);
+}
+
+Thread &
+Builder::thread()
+{
+    int tid = static_cast<int>(threads_.size());
+    return thread(tid, 0);
+}
+
+Thread &
+Builder::thread(int cta, int warp)
+{
+    int tid = static_cast<int>(threads_.size());
+    threads_.push_back(
+        Thread(this, tid, litmus::ThreadPlacement{cta, warp}));
+    return threads_.back();
+}
+
+Builder &
+Builder::init(const Reg &r, int64_t value)
+{
+    regInits_.push_back({r.tid(), r.name(), false, "", value});
+    return *this;
+}
+
+Builder &
+Builder::initAddr(const Reg &r, const Loc &l)
+{
+    regInits_.push_back({r.tid(), r.name(), true, l.name(), 0});
+    return *this;
+}
+
+Builder &
+Builder::forbid(const Cond &cond)
+{
+    quantifier_ = litmus::Quantifier::NotExists;
+    condition_ = cond.condition();
+    condSet_ = true;
+    return *this;
+}
+
+Builder &
+Builder::require(const Cond &cond)
+{
+    quantifier_ = litmus::Quantifier::Forall;
+    condition_ = cond.condition();
+    condSet_ = true;
+    return *this;
+}
+
+Builder &
+Builder::allow(const Cond &cond)
+{
+    quantifier_ = litmus::Quantifier::Exists;
+    condition_ = cond.condition();
+    condSet_ = true;
+    return *this;
+}
+
+litmus::Test
+Builder::build() const
+{
+    if (!condSet_)
+        fatal("scenario '%s': no forbid()/require()/allow() condition",
+              name_.c_str());
+
+    litmus::Test test;
+    test.name = name_;
+    test.locations = locations_;
+    test.regInits = regInits_;
+    std::vector<litmus::ThreadPlacement> placements;
+    for (const auto &t : threads_) {
+        test.program.threads.push_back(t.prog_);
+        placements.push_back(t.placement_);
+    }
+    test.scopeTree = litmus::ScopeTree(std::move(placements));
+    test.quantifier = quantifier_;
+    test.condition = condition_;
+    test.validate();
+    return test;
+}
+
+} // namespace gpulitmus::scenario

@@ -10,7 +10,9 @@
 #include "cuda/apps.h"
 #include "cuda/mapping.h"
 #include "cuda/snippets.h"
+#include "harness/campaign.h"
 #include "litmus/library.h"
+#include "scenario/catalog.h"
 
 namespace gpulitmus::cuda {
 namespace {
@@ -118,35 +120,64 @@ TEST(Snippets, SourcesMentionTheFences)
               std::string::npos);
 }
 
+// The clients are registry scenarios now: the "wrong result" is the
+// test's forbidden condition, so the observation count of a plain
+// harness run IS the wrong-result count (scenario/catalog.h). The
+// exact (mc) verdicts for these scenarios live in test_scenario.cc.
+
+harness::RunConfig
+appConfig(uint64_t iterations)
+{
+    harness::RunConfig cfg;
+    cfg.iterations = iterations;
+    cfg.maxMicroSteps = 20000; // spin loops need headroom
+    return cfg;
+}
+
+TEST(Apps, WrappersEqualRegistryScenarios)
+{
+    EXPECT_EQ(dotProductTest(3, true).str(),
+              scenario::spinlockDotProduct(3, true).str());
+    EXPECT_EQ(dotProductTest(4, false).str(),
+              scenario::spinlockDotProduct(4, false).str());
+    EXPECT_EQ(workStealingTest(false).str(),
+              scenario::workStealingDeque(false).str());
+    EXPECT_EQ(workStealingTest(true).str(),
+              scenario::workStealingDeque(true).str());
+}
+
 TEST(Apps, DotProductWrongWithoutFences)
 {
-    AppResult buggy =
-        runDotProduct(sim::chip("TesC"), 3, false, 4000);
-    EXPECT_GT(buggy.wrong, 0u);
-    EXPECT_LT(buggy.wrong, buggy.runs); // mostly right, sometimes not
+    litmus::Histogram buggy = harness::run(
+        sim::chip("TesC"), dotProductTest(3, false), appConfig(4000));
+    EXPECT_GT(buggy.observed(), 0u);
+    EXPECT_LT(buggy.observed(), buggy.total()); // mostly right
 }
 
 TEST(Apps, DotProductCorrectWithFences)
 {
-    AppResult fixed =
-        runDotProduct(sim::chip("TesC"), 3, true, 4000);
-    EXPECT_EQ(fixed.wrong, 0u);
+    litmus::Histogram fixed = harness::run(
+        sim::chip("TesC"), dotProductTest(3, true), appConfig(4000));
+    EXPECT_EQ(fixed.observed(), 0u);
 }
 
 TEST(Apps, DotProductCorrectOnMaxwellEitherWay)
 {
-    EXPECT_EQ(runDotProduct(sim::chip("GTX7"), 3, false, 3000).wrong,
-              0u);
+    litmus::Histogram hist = harness::run(
+        sim::chip("GTX7"), dotProductTest(3, false), appConfig(3000));
+    EXPECT_EQ(hist.observed(), 0u);
 }
 
 TEST(Apps, WorkStealingLosesTasksWithoutFences)
 {
-    AppResult buggy =
-        runWorkStealing(sim::chip("Titan"), false, 30000);
-    EXPECT_GT(buggy.wrong, 0u);
-    AppResult fixed =
-        runWorkStealing(sim::chip("Titan"), true, 10000);
-    EXPECT_EQ(fixed.wrong, 0u);
+    litmus::Histogram buggy =
+        harness::run(sim::chip("Titan"), workStealingTest(false),
+                     appConfig(30000));
+    EXPECT_GT(buggy.observed(), 0u);
+    litmus::Histogram fixed =
+        harness::run(sim::chip("Titan"), workStealingTest(true),
+                     appConfig(10000));
+    EXPECT_EQ(fixed.observed(), 0u);
 }
 
 } // namespace

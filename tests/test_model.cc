@@ -16,6 +16,7 @@
 
 #include "cat/models.h"
 #include "litmus/library.h"
+#include "litmus/parser.h"
 #include "model/baseline.h"
 #include "model/checker.h"
 
@@ -271,13 +272,28 @@ TEST(EnumerationMemo, MemoisedVerdictsMatchFreshOnes)
     EXPECT_EQ(cold.verdict, warm.verdict);
 }
 
-TEST(ModelScope, CaAndVolatileTestsAreOutsideTheModelScope)
+TEST(ModelScope, CaVolatileAndLoopedTestsAreOutsideTheModelScope)
 {
     EXPECT_TRUE(inModelScope(paperlib::mp()));
     EXPECT_TRUE(inModelScope(paperlib::lbMembarCtas()));
     EXPECT_FALSE(inModelScope(paperlib::mpVolatile()));
     EXPECT_FALSE(inModelScope(paperlib::mpL1(std::nullopt)));
     EXPECT_FALSE(inModelScope(paperlib::coRRL2L1(std::nullopt)));
+
+    // Spin loops (branches): the axiomatic side enumerates finite
+    // executions only, so looped scenarios are out of scope too.
+    auto spin = litmus::parseTest(R"(GPU_PTX spin
+{global x=0;}
+ T0              | T1                  ;
+ st.cg.s32 [x],1 | LOOP:               ;
+                 | ld.cg.s32 r1,[x]    ;
+                 | setp.eq.s32 p0,r1,0 ;
+                 | @p0 bra LOOP        ;
+ScopeTree(grid(cta((warp T0)) cta((warp T1))))
+exists ((1:r1=1))
+)");
+    ASSERT_TRUE(spin.has_value());
+    EXPECT_FALSE(inModelScope(*spin));
 }
 
 INSTANTIATE_TEST_SUITE_P(

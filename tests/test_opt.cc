@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "litmus/library.h"
+#include "litmus/parser.h"
 #include "opt/amd.h"
 #include "opt/optcheck.h"
 #include "opt/ptxas.h"
@@ -200,6 +201,40 @@ TEST(Amd, Gcn10RemovesFenceBetweenLoads)
         fences_t0 += in.isFence();
     EXPECT_EQ(fences_t0, 1);
     EXPECT_FALSE(result.miscompiled); // legality is disputed, not n/a
+}
+
+TEST(Amd, FenceErasureRemapsLabelsPastTheErasedSlot)
+{
+    // A labelled spin loop *after* an erased fence: the branch
+    // target must shift down with the instructions or the loop
+    // silently re-enters one instruction late (scenarios made
+    // labelled programs reachable through amdCompile).
+    auto test = litmus::parseTest(R"(GPU_PTX label-shift
+{global x=0; global f=0;}
+ T0              | T1                  ;
+ st.cg.s32 [x],1 | ld.cg.s32 r0,[x]    ;
+ st.cg.s32 [f],1 | membar.gl           ;
+                 | ld.cg.s32 r1,[x]    ;
+                 | SPIN:               ;
+                 | ld.cg.s32 r2,[f]    ;
+                 | setp.eq.s32 p0,r2,0 ;
+                 | @p0 bra SPIN        ;
+ScopeTree(grid(cta((warp T0)) cta((warp T1))))
+exists ((1:r2=1))
+)");
+    ASSERT_TRUE(test.has_value());
+    ASSERT_EQ(test->program.threads[1].labelTarget("SPIN"), 3);
+
+    auto result = amdCompile(*test, sim::chip("HD7970"), true);
+    const auto &t1 = result.compiled.program.threads[1];
+    int fences = 0;
+    for (const auto &in : t1.instrs)
+        fences += in.isFence();
+    ASSERT_EQ(fences, 0); // the ld/membar/ld fence was erased
+    // SPIN still binds the re-load of f, one slot earlier now.
+    ASSERT_EQ(t1.labelTarget("SPIN"), 2);
+    EXPECT_EQ(t1.instrs[t1.labelTarget("SPIN")].op, ptx::Opcode::Ld);
+    EXPECT_EQ(t1.instrs[t1.labelTarget("SPIN")].addr.sym, "f");
 }
 
 TEST(Amd, TeraScale2ReordersLoadPastCas)

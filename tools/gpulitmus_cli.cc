@@ -1,17 +1,22 @@
 /**
  * @file
  * The gpulitmus command-line tool — the workflow of the paper's
- * litmus/herd/diy tools behind one binary:
+ * litmus/herd/diy tools behind one binary.
  *
- *   gpulitmus run <file.litmus> [--chip NAME] [--iterations N]
+ * Everywhere a test is named, either a .litmus file path or a
+ * registry-scenario spec `scenario:<name>[,k=v...]` (e.g.
+ * `scenario:spinlock_dot_product,threads=3,fenced=1`) is accepted;
+ * `gpulitmus list` enumerates the registry.
+ *
+ *   gpulitmus run <test> [--chip NAME] [--iterations N]
  *            [--column 1..16]            run a test on a simulated chip
- *   gpulitmus sweep <file.litmus> [--chips A,B] [--columns 1-16]
+ *   gpulitmus sweep <test> [--chips A,B] [--columns 1-16]
  *            [--jobs N] [--iterations N] [--json FILE]
  *                                        batched campaign over a
  *                                        (chip x column) grid
- *   gpulitmus check <file.litmus> [--model NAME]
+ *   gpulitmus check <test> [--model NAME]
  *                                        herd-style model evaluation
- *   gpulitmus validate <file.litmus...> [--models A,B] [--chips A,B]
+ *   gpulitmus validate <test...> [--models A,B] [--chips A,B]
  *            [--column 1..16] [--jobs N] [--iterations N]
  *            [--exact] [--budget N] [--json FILE]
  *                                        conformance campaign: run the
@@ -21,14 +26,23 @@
  *                                        adds an exhaustive
  *                                        exploration per cell so
  *                                        imprecise verdicts upgrade
- *   gpulitmus explore <file.litmus...> [--chips A,B|all]
+ *   gpulitmus explore <test...> [--chips A,B|all]
  *            [--column 1..16] [--budget N] [--jobs N] [--models A,B]
  *            [--json FILE]               exhaustive schedule
  *                                        exploration (stateless model
  *                                        checking with DPOR): the
  *                                        exact reachable final-state
  *                                        set per (chip, test), joined
- *                                        against the models
+ *                                        against the models; for
+ *                                        ~exists tests (application
+ *                                        scenarios) a reachable
+ *                                        forbidden state is a
+ *                                        definitive failure (exit 2)
+ *   gpulitmus list [--json] [--corpus DIR]
+ *                                        enumerate registry scenarios
+ *                                        (with parameters), corpus
+ *                                        tests, chips, models and
+ *                                        backends
  *   gpulitmus show <file.litmus>         parse and pretty-print
  *   gpulitmus sass <file.litmus> [-O N] [--sdk V] [--maxwell]
  *                                        assemble + optcheck
@@ -45,10 +59,11 @@
  *   gpulitmus models                     list the built-in models
  *
  * Exit status: 0 on success, 1 on usage/parse errors, 2 when a check
- * fails (optcheck violation, ~exists condition observed, or an
- * unsound validate/explore cell).
+ * fails (optcheck violation, ~exists condition observed or
+ * mc-reachable, or an unsound validate/explore cell).
  */
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -63,9 +78,11 @@
 #include "gen/generator.h"
 #include "harness/campaign.h"
 #include "harness/runner.h"
+#include "litmus/library.h"
 #include "litmus/parser.h"
 #include "model/baseline.h"
 #include "model/checker.h"
+#include "scenario/registry.h"
 #include "opt/amd.h"
 #include "opt/optcheck.h"
 #include "opt/ptxas.h"
@@ -129,12 +146,35 @@ parseArgs(int argc, char **argv, int start)
     return args;
 }
 
-std::optional<litmus::Test>
-loadTest(const std::string &path)
+/** A test plus the micro-step floor its source recommends (registry
+ * scenarios with spin loops need more headroom than the default). */
+struct LoadedTest
 {
-    std::ifstream in(path);
+    litmus::Test test;
+    int minMicroSteps = 0;
+};
+
+/**
+ * Resolve one positional test argument: a registry-scenario spec
+ * ("scenario:<name>[,k=v...]") or a .litmus file path. Prints the
+ * diagnostic and returns nullopt on failure.
+ */
+std::optional<LoadedTest>
+loadTest(const std::string &arg)
+{
+    if (scenario::isSpec(arg)) {
+        std::string error;
+        auto built = scenario::buildSpec(arg, &error);
+        if (!built) {
+            std::cerr << "error: " << error << "\n";
+            return std::nullopt;
+        }
+        return LoadedTest{std::move(built->test),
+                          built->maxMicroSteps};
+    }
+    std::ifstream in(arg);
     if (!in) {
-        std::cerr << "error: cannot open '" << path << "'\n";
+        std::cerr << "error: cannot open '" << arg << "'\n";
         return std::nullopt;
     }
     std::stringstream buffer;
@@ -142,10 +182,10 @@ loadTest(const std::string &path)
     litmus::ParseError err;
     auto test = litmus::parseTest(buffer.str(), &err);
     if (!test) {
-        std::cerr << "error: " << path << ": " << err.message << "\n";
+        std::cerr << "error: " << arg << ": " << err.message << "\n";
         return std::nullopt;
     }
-    return test;
+    return LoadedTest{std::move(*test), 0};
 }
 
 /**
@@ -167,12 +207,12 @@ int
 cmdRun(const Args &args)
 {
     if (args.positional.empty()) {
-        std::cerr << "usage: gpulitmus run <file.litmus> [--chip"
+        std::cerr << "usage: gpulitmus run <test> [--chip"
                      " NAME] [--iterations N] [--column 1..16]\n";
         return 1;
     }
-    auto test = loadTest(args.positional[0]);
-    if (!test)
+    auto loaded = loadTest(args.positional[0]);
+    if (!loaded)
         return 1;
 
     harness::RunConfig cfg;
@@ -180,12 +220,14 @@ cmdRun(const Args &args)
         "iterations",
         static_cast<int64_t>(harness::defaultIterations())));
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 0x6c69));
+    cfg.maxMicroSteps =
+        std::max(cfg.maxMicroSteps, loaded->minMicroSteps);
     int column = static_cast<int>(args.getInt("column", 16));
     cfg.inc = sim::Incantations::fromColumn(column);
     const sim::ChipProfile &chip =
         sim::chip(args.get("chip", "Titan"));
 
-    litmus::Test to_run = *test;
+    litmus::Test to_run = loaded->test;
     if (chip.isAmd()) {
         auto compiled = opt::amdCompile(to_run, chip);
         for (const auto &q : compiled.quirks)
@@ -239,14 +281,15 @@ int
 cmdSweep(const Args &args)
 {
     if (args.positional.empty()) {
-        std::cerr << "usage: gpulitmus sweep <file.litmus> [--chips"
+        std::cerr << "usage: gpulitmus sweep <test> [--chips"
                      " A,B] [--columns 1-16] [--jobs N]"
                      " [--iterations N] [--seed S] [--json FILE]\n";
         return 1;
     }
-    auto test = loadTest(args.positional[0]);
-    if (!test)
+    auto loaded = loadTest(args.positional[0]);
+    if (!loaded)
         return 1;
+    const litmus::Test &test = loaded->test;
 
     std::vector<int> columns =
         parseColumns(args.get("columns", "1-16"));
@@ -262,6 +305,8 @@ cmdSweep(const Args &args)
         "iterations",
         static_cast<int64_t>(harness::defaultIterations())));
     cfg.seed = static_cast<uint64_t>(args.getInt("seed", 0x6c69));
+    cfg.maxMicroSteps =
+        std::max(cfg.maxMicroSteps, loaded->minMicroSteps);
 
     // Per-chip test compilation (AMD chips run what their OpenCL
     // compiler produces); miscompiled chips drop out of the grid.
@@ -270,7 +315,7 @@ cmdSweep(const Args &args)
     std::vector<std::string> skipped;
     for (const auto &name : split(args.get("chips", "Titan"), ',')) {
         const sim::ChipProfile &chip = sim::chip(trim(name));
-        litmus::Test to_run = *test;
+        litmus::Test to_run = test;
         if (chip.isAmd()) {
             auto compiled = opt::amdCompile(to_run, chip);
             for (const auto &q : compiled.quirks)
@@ -301,7 +346,7 @@ cmdSweep(const Args &args)
     if (args.has("json"))
         sinks.push_back(&json);
 
-    std::cout << "sweep: " << test->name << ", " << cfg.iterations
+    std::cout << "sweep: " << test.name << ", " << cfg.iterations
               << " iterations/cell, " << engine.threads()
               << " worker threads\n\n";
     auto results = campaign.run(engine, sinks);
@@ -323,7 +368,7 @@ cmdSweep(const Args &args)
 
     // Exit 2 when a ~exists condition was observed anywhere in the
     // grid, mirroring `run`.
-    if (test->quantifier == litmus::Quantifier::NotExists) {
+    if (test.quantifier == litmus::Quantifier::NotExists) {
         for (const auto &r : results) {
             if (r.hist.observed() > 0)
                 return 2;
@@ -336,24 +381,34 @@ int
 cmdCheck(const Args &args)
 {
     if (args.positional.empty()) {
-        std::cerr << "usage: gpulitmus check <file.litmus>"
+        std::cerr << "usage: gpulitmus check <test>"
                      " [--model ptx|rmo|sc|tso|operational]\n";
         return 1;
     }
-    auto test = loadTest(args.positional[0]);
-    if (!test)
+    auto loaded = loadTest(args.positional[0]);
+    if (!loaded)
         return 1;
+    const litmus::Test &test = loaded->test;
+    // Same scope policy as validate/explore and AxiomBackend: the
+    // models have nothing to say about .ca/volatile accesses, and a
+    // looped program would not enumerate in useful time.
+    if (!model::inModelScope(test)) {
+        std::cerr << "error: '" << args.positional[0]
+                  << "' is outside the model scope (.ca/volatile/"
+                     "loops, Sec. 5.5); use the sim or mc backends\n";
+        return 1;
+    }
     auto backend = modelBackendByName(args.get("model", "ptx"));
     if (!backend)
         return 1;
     const cat::Model &m = backend->model();
     model::Checker checker(m);
-    model::Verdict v = checker.check(*test);
+    model::Verdict v = checker.check(test);
     std::cout << "model " << m.name() << ": " << v.numCandidates
               << " candidates, " << v.numAllowed << " allowed\n";
     std::cout << "condition "
-              << litmus::toString(test->quantifier) << " ("
-              << test->condition.str() << "): " << v.verdict << "\n";
+              << litmus::toString(test.quantifier) << " ("
+              << test.condition.str() << "): " << v.verdict << "\n";
     std::cout << "allowed outcomes:\n";
     for (const auto &key : v.allowedKeys)
         std::cout << "  " << key << "\n";
@@ -430,19 +485,19 @@ cmdValidate(const Args &args)
     // volatile accesses, Sec. 5.5) are excluded exactly as in the
     // paper.
     size_t out_of_scope = 0;
-    std::vector<litmus::Test> tests;
+    std::vector<LoadedTest> tests;
     for (const auto &path : args.positional) {
-        auto test = loadTest(path);
-        if (!test)
+        auto loaded = loadTest(path);
+        if (!loaded)
             return 1;
-        if (!model::inModelScope(*test)) {
+        if (!model::inModelScope(loaded->test)) {
             std::cerr << "note: " << path
-                      << " is outside the model scope (.ca/volatile,"
-                         " Sec. 5.5); skipped\n";
+                      << " is outside the model scope (.ca/volatile/"
+                         "loops, Sec. 5.5); skipped\n";
             ++out_of_scope;
             continue;
         }
-        tests.push_back(std::move(*test));
+        tests.push_back(std::move(*loaded));
     }
     if (tests.empty()) {
         std::cerr << "error: no in-scope tests to validate\n";
@@ -455,7 +510,11 @@ cmdValidate(const Args &args)
     // compiled text so the conformance join compares like with like.
     harness::Campaign campaign;
     std::vector<std::string> skipped;
-    for (const auto &test : tests) {
+    for (const auto &lt : tests) {
+        const litmus::Test &test = lt.test;
+        harness::RunConfig test_cfg = cfg;
+        test_cfg.maxMicroSteps =
+            std::max(cfg.maxMicroSteps, lt.minMicroSteps);
         for (const auto &chip : chips) {
             std::vector<std::string> quirks;
             auto to_run = eval::compileForChip(test, chip, &quirks);
@@ -467,7 +526,7 @@ cmdValidate(const Args &args)
                 continue;
             }
             harness::Job sim_job =
-                harness::Job::fromConfig(chip, *to_run, cfg);
+                harness::Job::fromConfig(chip, *to_run, test_cfg);
             sim_job.label = test.name;
             campaign.add(sim_job);
             if (args.has("exact")) {
@@ -590,7 +649,7 @@ int
 cmdExplore(const Args &args)
 {
     if (args.positional.empty()) {
-        std::cerr << "usage: gpulitmus explore <file.litmus...>"
+        std::cerr << "usage: gpulitmus explore <test...>"
                      " [--chips A,B|all] [--column 1..16]"
                      " [--budget N] [--jobs N] [--models A,B|none]"
                      " [--json FILE]\n";
@@ -627,30 +686,35 @@ cmdExplore(const Args &args)
     std::vector<std::string> skipped;
     size_t out_of_scope = 0;
     for (const auto &path : args.positional) {
-        auto test = loadTest(path);
-        if (!test)
+        auto loaded = loadTest(path);
+        if (!loaded)
             return 1;
-        // Out-of-scope tests (.ca/volatile, Sec. 5.5) still explore —
+        const litmus::Test &test = loaded->test;
+        harness::RunConfig test_cfg = cfg;
+        test_cfg.maxMicroSteps =
+            std::max(cfg.maxMicroSteps, loaded->minMicroSteps);
+        // Out-of-scope tests (.ca/volatile/loops, Sec. 5.5) still
+        // explore —
         // the reachable set is a property of the machine — but skip
         // the model join, exactly as `validate` skips them.
-        bool in_scope = model::inModelScope(*test);
+        bool in_scope = model::inModelScope(test);
         if (!in_scope)
             ++out_of_scope;
         for (const auto &chip : chips) {
             std::vector<std::string> quirks;
-            auto to_run = eval::compileForChip(*test, chip, &quirks);
+            auto to_run = eval::compileForChip(test, chip, &quirks);
             for (const auto &q : quirks)
                 std::cerr << "compile note (" << chip.shortName
                           << "): " << q << "\n";
             if (!to_run) {
-                skipped.push_back(test->name + " on " +
+                skipped.push_back(test.name + " on " +
                                   chip.shortName);
                 continue;
             }
             harness::Job mc_job =
-                harness::Job::fromConfig(chip, *to_run, cfg);
+                harness::Job::fromConfig(chip, *to_run, test_cfg);
             mc_job.backend = harness::kMcBackend;
-            mc_job.label = test->name;
+            mc_job.label = test.name;
             campaign.add(mc_job);
             if (in_scope) {
                 for (const auto &model : models) {
@@ -700,24 +764,54 @@ cmdExplore(const Args &args)
     auto results = engine.run(jobs, sinks, progress);
     std::cerr << "\n";
 
+    // A reachable satisfying state of a ~exists test (an application
+    // scenario's "wrong result") is a definitive failure: the
+    // explorer exhibits a concrete schedule, no sampling luck
+    // involved. Unreachability claims are graded by completeness:
+    // proven (complete), proven for all terminating executions
+    // (fairComplete — spin-loop scenarios), or merely unobserved
+    // within the budget.
     size_t bounded = 0;
+    size_t forbidden_reachable = 0;
     for (const auto &r : results) {
         if (!r.hasExact() || r.fromCache)
             continue;
         const mc::ExploreResult &x = *r.exact;
-        if (!x.complete)
+        if (!x.complete && !x.fairComplete)
             ++bounded;
         std::cout << r.label() << "@" << x.chipName << " (column "
                   << x.column << "): " << x.finals.size()
                   << " reachable states, "
-                  << (x.complete ? "complete" : "BOUNDED") << ", "
-                  << x.stats.replays << " replays, "
+                  << (x.complete       ? "complete"
+                      : x.fairComplete ? "complete (fair schedules)"
+                                       : "BOUNDED")
+                  << ", " << x.stats.replays << " replays, "
                   << x.stats.distinctStates << " states, "
                   << x.stats.sleepSkips << " sleep skips\n";
         for (const auto &[key, weight] : x.finals) {
             std::cout << "    " << weight << "  " << key
                       << (x.satisfying.count(key) ? "  *" : "")
                       << "\n";
+        }
+        if (r.job->test.quantifier != litmus::Quantifier::NotExists)
+            continue;
+        if (!x.satisfying.empty()) {
+            ++forbidden_reachable;
+            std::cout << "  FORBIDDEN-REACHABLE (definitive):";
+            for (const auto &key : x.satisfying)
+                std::cout << " '" << key << "'";
+            std::cout << "\n";
+        } else if (x.complete) {
+            std::cout << "  forbidden condition exact-unreachable:"
+                         " proven over every schedule\n";
+        } else if (x.fairComplete) {
+            std::cout << "  forbidden condition exact-unreachable"
+                         " for every terminating execution (spin"
+                         " loops explored modulo the runaway"
+                         " guard)\n";
+        } else {
+            std::cout << "  forbidden condition not reached within"
+                         " the budget (no proof)\n";
         }
     }
 
@@ -742,32 +836,36 @@ cmdExplore(const Args &args)
     if (bounded > 0)
         std::cout << bounded << " cells hit the budget (bounded"
                      " verdicts); raise --budget for exact sets\n";
+    if (forbidden_reachable > 0)
+        std::cout << forbidden_reachable
+                  << " cells reach their forbidden condition\n";
 
+    bool failed = unsound > 0 || forbidden_reachable > 0;
     if (args.has("json")) {
         std::string path = args.get("json", "explore.json");
         if (path == "true") // bare --json
             path = "explore.json";
         if (!json.writeFile(path)) {
             std::cerr << "error: cannot write '" << path << "'\n";
-            return unsound > 0 ? 2 : 1;
+            return failed ? 2 : 1;
         }
         std::cout << "wrote " << path << " (" << json.size()
                   << " cells)\n";
     }
-    return unsound > 0 ? 2 : 0;
+    return failed ? 2 : 0;
 }
 
 int
 cmdShow(const Args &args)
 {
     if (args.positional.empty()) {
-        std::cerr << "usage: gpulitmus show <file.litmus>\n";
+        std::cerr << "usage: gpulitmus show <test>\n";
         return 1;
     }
-    auto test = loadTest(args.positional[0]);
-    if (!test)
+    auto loaded = loadTest(args.positional[0]);
+    if (!loaded)
         return 1;
-    std::cout << test->str();
+    std::cout << loaded->test.str();
     return 0;
 }
 
@@ -779,14 +877,14 @@ cmdSass(const Args &args)
                      " [--sdk V] [--maxwell]\n";
         return 1;
     }
-    auto test = loadTest(args.positional[0]);
-    if (!test)
+    auto loaded = loadTest(args.positional[0]);
+    if (!loaded)
         return 1;
     opt::PtxasOptions opts;
     opts.optLevel = static_cast<int>(args.getInt("opt-level", 3));
     opts.sdkVersion = args.get("sdk", "6.0");
     opts.targetMaxwell = args.has("maxwell");
-    opt::SassProgram sass = opt::assemble(*test, opts);
+    opt::SassProgram sass = opt::assemble(loaded->test, opts);
     std::cout << sass.disassemble();
     auto check = opt::optcheck(sass);
     std::cout << check.str();
@@ -871,6 +969,148 @@ cmdGen(const Args &args)
     return 0;
 }
 
+/**
+ * Discoverability in one place: registry scenarios (with their
+ * parameters and defaults), the built-in paper-library corpus, any
+ * on-disk .litmus corpus, the chip registry, the model registry and
+ * the evaluation backends. --json emits one machine-readable object
+ * so tooling never has to scrape the human listing.
+ */
+int
+cmdList(const Args &args)
+{
+    std::string corpus_dir = args.get("corpus", "litmus-tests");
+    std::vector<std::string> corpus_files;
+    std::error_code ec;
+    if (std::filesystem::is_directory(corpus_dir, ec)) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(corpus_dir, ec)) {
+            if (entry.path().extension() == ".litmus")
+                corpus_files.push_back(entry.path().string());
+        }
+        std::sort(corpus_files.begin(), corpus_files.end());
+    }
+
+    if (args.has("json")) {
+        std::string out = "{\"scenarios\":[";
+        bool first = true;
+        for (const auto &s : scenario::all()) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{\"name\":\"" + jsonEscape(s.name) + "\",";
+            out += "\"spec\":\"scenario:" + jsonEscape(s.name) +
+                   "\",";
+            out += "\"summary\":\"" + jsonEscape(s.summary) + "\",";
+            out += "\"paper\":\"" + jsonEscape(s.paperRef) + "\",";
+            out += "\"max_micro_steps\":" +
+                   std::to_string(s.maxMicroSteps) + ",";
+            out += "\"params\":[";
+            bool pfirst = true;
+            for (const auto &p : s.params) {
+                if (!pfirst)
+                    out += ",";
+                pfirst = false;
+                out += "{\"name\":\"" + jsonEscape(p.name) +
+                       "\",\"default\":" +
+                       std::to_string(p.defaultValue) +
+                       ",\"help\":\"" + jsonEscape(p.help) + "\"}";
+            }
+            out += "]}";
+        }
+        out += "],\"library\":[";
+        first = true;
+        for (const auto &t : litmus::paperlib::allTests()) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{\"id\":\"" + jsonEscape(t.id) +
+                   "\",\"section\":\"" + jsonEscape(t.section) +
+                   "\"}";
+        }
+        out += "],\"corpus\":[";
+        first = true;
+        for (const auto &f : corpus_files) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + jsonEscape(f) + "\"";
+        }
+        out += "],\"chips\":[";
+        first = true;
+        for (const auto &c : sim::allChips()) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{\"name\":\"" + jsonEscape(c.shortName) +
+                   "\",\"vendor\":\"" + jsonEscape(c.vendor) +
+                   "\",\"chip\":\"" + jsonEscape(c.chipName) + "\"}";
+        }
+        out += "],\"models\":[";
+        first = true;
+        for (const auto &m : eval::builtinModelNames()) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + jsonEscape(m) + "\"";
+        }
+        out += "],\"backends\":[";
+        first = true;
+        for (const auto &b : eval::builtinBackendNames()) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + jsonEscape(b) + "\"";
+        }
+        out += "]}";
+        std::cout << out << "\n";
+        return 0;
+    }
+
+    std::cout << "scenarios (run as scenario:<name>[,k=v...]):\n";
+    for (const auto &s : scenario::all()) {
+        std::cout << "  " << s.name;
+        if (!s.params.empty()) {
+            std::cout << "{";
+            bool pfirst = true;
+            for (const auto &p : s.params) {
+                if (!pfirst)
+                    std::cout << ",";
+                pfirst = false;
+                std::cout << p.name << "=" << p.defaultValue;
+            }
+            std::cout << "}";
+        }
+        std::cout << "\n      " << s.summary << " [" << s.paperRef
+                  << "]\n";
+        for (const auto &p : s.params)
+            std::cout << "      " << p.name << ": " << p.help
+                      << " (default " << p.defaultValue << ")\n";
+    }
+
+    std::cout << "\nbuilt-in paper library:\n";
+    for (const auto &t : litmus::paperlib::allTests())
+        std::cout << "  " << t.id << " [" << t.section << "]\n";
+
+    if (!corpus_files.empty()) {
+        std::cout << "\non-disk corpus (" << corpus_dir << "):\n";
+        for (const auto &f : corpus_files)
+            std::cout << "  " << f << "\n";
+    }
+
+    std::cout << "\nchips:";
+    for (const auto &c : sim::allChips())
+        std::cout << " " << c.shortName;
+    std::cout << "\nmodels:";
+    for (const auto &m : eval::builtinModelNames())
+        std::cout << " " << m;
+    std::cout << "\nbackends:";
+    for (const auto &b : eval::builtinBackendNames())
+        std::cout << " " << b;
+    std::cout << "\n";
+    return 0;
+}
+
 int
 cmdChips()
 {
@@ -907,7 +1147,7 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr
             << "usage: gpulitmus"
-               " <run|sweep|check|validate|explore|show|sass|"
+               " <run|sweep|check|validate|explore|list|show|sass|"
                "generate|gen|chips|models> ...\n";
         return 1;
     }
@@ -923,6 +1163,8 @@ main(int argc, char **argv)
         return cmdValidate(args);
     if (cmd == "explore")
         return cmdExplore(args);
+    if (cmd == "list")
+        return cmdList(args);
     if (cmd == "show")
         return cmdShow(args);
     if (cmd == "sass")
