@@ -21,7 +21,7 @@
 
 #include "common/strutil.h"
 #include "common/table.h"
-#include "harness/runner.h"
+#include "harness/campaign.h"
 #include "litmus/library.h"
 #include "mc/explorer.h"
 

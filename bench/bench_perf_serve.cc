@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The serve subsystem's headline claim, measured: a cold evaluation
+ * sweep through a fresh ResultStore, then the same sweep through a
+ * *reopened* store (a daemon restart), which must answer nearly every
+ * cell from disk, bit-identically. Emits BENCH_serve.json.
+ *
+ * This is a hard gate, not a report: the warm run must serve at least
+ * 95% of cells from the store (in practice 100% — every digest is
+ * deterministic) and every warm cell must match its cold counterpart
+ * byte for byte once the provenance/timing fields are stripped. Any
+ * miss or divergence exits nonzero, because a store that silently
+ * recomputes or — worse — answers differently defeats the daemon's
+ * whole contract (docs/SERVE.md).
+ *
+ * Corpus: every paper-library test on every chip in the registry
+ * (sim backend) plus one PTX-model verdict per test. GPULITMUS_ITERS
+ * scales the sampling side; GPULITMUS_JOBS the worker count.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+
+#include "common/strutil.h"
+#include "eval/backend.h"
+#include "harness/campaign.h"
+#include "litmus/library.h"
+#include "serve/store.h"
+
+#include "bench_util.h"
+
+using namespace gpulitmus;
+
+namespace {
+
+/** evalCellJson minus the fields that legitimately differ between a
+ * computed cell and the same cell served from cache or disk. */
+std::string
+stripProvenance(std::string json)
+{
+    for (const char *marker :
+         {",\"from_store\":true", ",\"from_store\":false",
+          ",\"cached\":true", ",\"cached\":false"}) {
+        auto at = json.find(marker);
+        if (at != std::string::npos)
+            json.erase(at, std::strlen(marker));
+    }
+    auto at = json.find(",\"millis\":");
+    if (at != std::string::npos) {
+        auto end = at + std::strlen(",\"millis\":");
+        while (end < json.size() &&
+               (std::isdigit(static_cast<unsigned char>(json[end])) ||
+                json[end] == '.' || json[end] == '-'))
+            ++end;
+        json.erase(at, end - at);
+    }
+    return json;
+}
+
+double
+millisSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    namespace fs = std::filesystem;
+    uint64_t iters = harness::defaultIterations();
+
+    // The corpus: sim cells across the full chip registry, plus a
+    // PTX-model verdict per test.
+    std::vector<harness::Job> jobs;
+    harness::RunConfig cfg;
+    cfg.iterations = iters;
+    for (const auto &nt : litmus::paperlib::allTests()) {
+        for (const auto &chip : sim::allChips()) {
+            harness::Job job =
+                harness::Job::fromConfig(chip, nt.test, cfg);
+            job.label = nt.id;
+            jobs.push_back(job);
+        }
+        harness::Job model =
+            harness::Job::fromConfig(sim::chip("Titan"), nt.test, cfg);
+        model.backend = "ptx";
+        model.label = nt.id;
+        jobs.push_back(model);
+    }
+
+    fs::path dir = fs::temp_directory_path() /
+                   ("gls_bench_" + std::to_string(::getpid()));
+    fs::remove_all(dir);
+    serve::StoreOptions sopts;
+    sopts.syncOnFlush = false;
+
+    std::cout << "serve store: " << jobs.size() << " cells, " << iters
+              << " iterations/cell, store " << dir.string() << "\n";
+
+    // Cold: a fresh store, everything computed, results persisted.
+    std::vector<eval::EvalResult> cold_results;
+    double cold_ms = 0;
+    {
+        auto store = serve::ResultStore::open(dir.string(), sopts);
+        if (!store) {
+            std::cerr << "error: cannot open store in "
+                      << dir.string() << "\n";
+            return 1;
+        }
+        eval::EngineOptions eopts;
+        eopts.store = store.get();
+        eval::Engine engine(eopts);
+        auto t0 = std::chrono::steady_clock::now();
+        cold_results = engine.run(jobs);
+        cold_ms = millisSince(t0);
+        std::string error;
+        if (!store->flush(&error)) {
+            std::cerr << "error: store flush failed: " << error
+                      << "\n";
+            return 1;
+        }
+    }
+
+    // Warm: reopen the store from disk — a daemon restart — and run
+    // the identical sweep through a fresh engine (empty L1 cache).
+    std::vector<eval::EvalResult> warm_results;
+    double warm_ms = 0;
+    uint64_t store_hits = 0;
+    {
+        auto store = serve::ResultStore::open(dir.string(), sopts);
+        if (!store) {
+            std::cerr << "error: cannot reopen store\n";
+            return 1;
+        }
+        eval::EngineOptions eopts;
+        eopts.store = store.get();
+        eval::Engine engine(eopts);
+        auto t0 = std::chrono::steady_clock::now();
+        warm_results = engine.run(jobs);
+        warm_ms = millisSince(t0);
+        for (const auto &r : warm_results)
+            store_hits += r.fromStore ? 1 : 0;
+    }
+    fs::remove_all(dir);
+
+    bool identical = warm_results.size() == cold_results.size();
+    for (size_t i = 0; identical && i < warm_results.size(); ++i) {
+        if (stripProvenance(eval::evalCellJson(warm_results[i])) !=
+            stripProvenance(eval::evalCellJson(cold_results[i])))
+            identical = false;
+    }
+    double hit_pct =
+        jobs.empty() ? 0.0
+                     : 100.0 * static_cast<double>(store_hits) /
+                           static_cast<double>(jobs.size());
+    double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+
+    char line[256];
+    std::snprintf(line, sizeof line,
+                  "cold %.1f ms, warm %.1f ms (%.1fx), %llu/%zu "
+                  "cells from store (%.1f%%), identical: %s\n",
+                  cold_ms, warm_ms, speedup,
+                  static_cast<unsigned long long>(store_hits),
+                  jobs.size(), hit_pct, identical ? "yes" : "NO");
+    std::cout << line;
+
+    std::vector<std::string> entries;
+    char entry[512];
+    std::snprintf(entry, sizeof entry,
+                  "{\"jobs\":%zu,\"iterations\":%llu,"
+                  "\"cold_millis\":%.3f,\"warm_millis\":%.3f,"
+                  "\"store_hits\":%llu,\"hit_pct\":%.2f,"
+                  "\"identical\":%s,\"speedup\":%.2f}",
+                  jobs.size(),
+                  static_cast<unsigned long long>(iters), cold_ms,
+                  warm_ms,
+                  static_cast<unsigned long long>(store_hits),
+                  hit_pct, identical ? "true" : "false", speedup);
+    entries.emplace_back(entry);
+    if (!writeJsonArrayFile("BENCH_serve.json", entries)) {
+        std::cerr << "error: could not write BENCH_serve.json\n";
+        return 1;
+    }
+    std::cout << "wrote BENCH_serve.json\n";
+
+    // The gate.
+    if (hit_pct < 95.0) {
+        std::cerr << "GATE FAILED: warm run served only " << hit_pct
+                  << "% of cells from the store (need >= 95%)\n";
+        return 1;
+    }
+    if (!identical) {
+        std::cerr << "GATE FAILED: warm results are not "
+                     "bit-identical to the cold run\n";
+        return 1;
+    }
+    return 0;
+}

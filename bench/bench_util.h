@@ -22,7 +22,6 @@
 #include "common/strutil.h"
 #include "common/table.h"
 #include "harness/campaign.h"
-#include "harness/runner.h"
 #include "litmus/test.h"
 #include "sim/chip.h"
 

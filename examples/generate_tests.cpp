@@ -12,7 +12,7 @@
 
 #include "cat/models.h"
 #include "gen/generator.h"
-#include "harness/runner.h"
+#include "harness/campaign.h"
 #include "model/checker.h"
 
 using namespace gpulitmus;

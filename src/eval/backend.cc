@@ -13,6 +13,7 @@
 #include "common/strutil.h"
 #include "model/baseline.h"
 #include "opt/amd.h"
+#include "serve/store.h"
 
 namespace gpulitmus::eval {
 
@@ -297,7 +298,7 @@ compileForChip(const litmus::Test &test, const sim::ChipProfile &chip,
 Engine::Engine(EngineOptions opts)
     : threads_(opts.threads > 0 ? opts.threads
                                 : harness::defaultJobs()),
-      cacheEnabled_(opts.cache)
+      cacheEnabled_(opts.cache), store_(opts.store)
 {
 }
 
@@ -347,9 +348,20 @@ Engine::run(const std::vector<EvalJob> &jobs,
 
     harness::BatchOps<EvalJob, EvalResult> ops;
     ops.cacheKey = [](const EvalJob &job) { return job.cacheKey(); };
-    ops.execute = [&backends](const EvalJob &job) {
+    // The persistent store is the L2 behind the in-process cache: a
+    // cache miss consults it before evaluating, and every computed
+    // result feeds it.
+    ops.execute = [&backends, store = store_](const EvalJob &job) {
+        if (store) {
+            if (auto hit = store->fetchEval(job))
+                return std::make_shared<EvalResult>(std::move(*hit));
+        }
         const Backend &backend = *backends.at(job.backend);
-        return std::make_shared<EvalResult>(backend.evaluate(job));
+        auto result =
+            std::make_shared<EvalResult>(backend.evaluate(job));
+        if (store)
+            store->putEval(job, *result);
+        return result;
     };
     // Re-label a shared result for the job that requested it: the
     // cache key ignores labels (and, for model cells, the whole
@@ -768,8 +780,8 @@ ConformanceSink::writeFile(const std::string &path) const
 
 // ---- JsonSink -------------------------------------------------------
 
-void
-JsonSink::add(const EvalResult &result)
+std::string
+evalCellJson(const EvalResult &result)
 {
     const EvalJob &job = *result.job;
 
@@ -839,7 +851,17 @@ JsonSink::add(const EvalResult &result)
             e += exactFields(*result.exact);
         e += "}";
     }
-    entries_.push_back(std::move(e));
+    // Provenance for store-hit assertions (CI serve-smoke greps it).
+    e.pop_back(); // reopen the object
+    e += std::string(",\"from_store\":") +
+         (result.fromStore ? "true" : "false") + "}";
+    return e;
+}
+
+void
+JsonSink::add(const EvalResult &result)
+{
+    entries_.push_back(evalCellJson(result));
 }
 
 void

@@ -59,6 +59,10 @@
 #include "mc/explorer.h"
 #include "model/checker.h"
 
+namespace gpulitmus::serve {
+class ResultStore; // serve/store.h — only backend.cc needs the type
+}
+
 namespace gpulitmus::eval {
 
 /** One Job across every engine: the harness job, whose `backend`
@@ -93,6 +97,9 @@ struct EvalResult
     /** True when the engine served this cell from its cache (or from
      * a batch-mate with the same cache identity). */
     bool fromCache = false;
+    /** True when the persistent result store answered this cell
+     * (EngineOptions::store) without evaluating. */
+    bool fromStore = false;
     /** Wall-clock of the evaluation (0 for cache hits). */
     double millis = 0.0;
 
@@ -256,6 +263,11 @@ struct EngineOptions
     int threads = 0;
     /** Serve repeated cells from the in-process cache. */
     bool cache = true;
+    /** Optional persistent result store (serve/store.h): the L2
+     * behind the in-process cache. Consulted on every cache miss
+     * before evaluating, fed every computed result. Not owned; must
+     * outlive the engine. */
+    serve::ResultStore *store = nullptr;
 };
 
 /**
@@ -289,6 +301,7 @@ class Engine
   private:
     int threads_ = 1;
     bool cacheEnabled_ = true;
+    serve::ResultStore *store_ = nullptr;
     harness::BatchCache<EvalResult> cache_;
 };
 
@@ -429,6 +442,16 @@ class ConformanceSink : public EvalSink
     /** Memoised join; reset by add(). */
     mutable std::optional<std::vector<ConformanceCell>> joined_;
 };
+
+/**
+ * One evaluation result rendered as a JSON object — the schema of
+ * JsonSink entries, shared with the serve layer's `result` events so
+ * daemon output cannot drift from `--json` output. Sim entries mirror
+ * harness::simCellJson plus the verdict fields; verdict/exact-only
+ * entries carry the model and exploration statistics. Every entry
+ * carries "from_store".
+ */
+std::string evalCellJson(const EvalResult &result);
 
 /**
  * Writes evaluation results as a JSON array for machine consumption

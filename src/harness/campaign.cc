@@ -16,6 +16,7 @@
 #include "common/strutil.h"
 #include "common/table.h"
 #include "scenario/registry.h"
+#include "serve/store.h"
 
 namespace gpulitmus::harness {
 
@@ -369,7 +370,7 @@ JsonSink::writeFile(const std::string &path) const
 
 Engine::Engine(EngineOptions opts)
     : threads_(opts.threads > 0 ? opts.threads : defaultJobs()),
-      cacheEnabled_(opts.cache)
+      cacheEnabled_(opts.cache), store_(opts.store)
 {
 }
 
@@ -388,8 +389,18 @@ Engine::run(const std::vector<Job> &jobs,
 
     BatchOps<Job, JobResult> ops;
     ops.cacheKey = [](const Job &job) { return job.cacheKey(); };
-    ops.execute = [](const Job &job) {
-        return std::make_shared<JobResult>(runJob(job));
+    // The persistent store is the L2 behind the in-process cache: a
+    // cache miss consults it before simulating, and every simulated
+    // cell feeds it.
+    ops.execute = [store = store_](const Job &job) {
+        if (store) {
+            if (auto hit = store->fetchSim(job))
+                return std::make_shared<JobResult>(std::move(*hit));
+        }
+        auto result = std::make_shared<JobResult>(runJob(job));
+        if (store)
+            store->putSim(job, *result);
+        return result;
     };
     // A cache or alias hit keeps the computed histogram but must
     // carry the *submitted* job's identity (label, etc.), which the

@@ -48,6 +48,10 @@
 #include "sim/chip.h"
 #include "sim/machine.h"
 
+namespace gpulitmus::serve {
+class ResultStore; // serve/store.h — only campaign.cc needs the type
+}
+
 namespace gpulitmus::harness {
 
 // ---- single-shot interface (formerly harness/runner.h) --------------
@@ -180,6 +184,9 @@ struct JobResult
     uint64_t observedPer100k = 0;
     /** True when the engine served this cell from its cache. */
     bool fromCache = false;
+    /** True when the persistent result store answered this cell
+     * (EngineOptions::store) without simulating. */
+    bool fromStore = false;
     /** Wall-clock of the simulation (0 for cache hits). */
     double millis = 0.0;
 
@@ -276,6 +283,10 @@ struct EngineOptions
     int threads = 0;
     /** Serve repeated cells from the in-process cache. */
     bool cache = true;
+    /** Optional persistent result store (serve/store.h): consulted on
+     * every cache miss before simulating, and fed every computed
+     * result. Not owned; must outlive the engine. */
+    serve::ResultStore *store = nullptr;
 };
 
 /**
@@ -306,6 +317,7 @@ class Engine
   private:
     int threads_ = 1;
     bool cacheEnabled_ = true;
+    serve::ResultStore *store_ = nullptr;
     BatchCache<JobResult> cache_;
 };
 

@@ -53,6 +53,15 @@ Histogram::record(const FinalState &state)
         ++observed_;
 }
 
+void
+Histogram::restore(std::map<std::string, uint64_t> counts,
+                   uint64_t observed, uint64_t total)
+{
+    counts_ = std::move(counts);
+    observed_ = observed;
+    total_ = total;
+}
+
 std::string
 Histogram::verdict() const
 {

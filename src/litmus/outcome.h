@@ -61,6 +61,17 @@ class Histogram
      */
     void rebind(const Test &test) { test_ = &test; }
 
+    /**
+     * Install recorded counts wholesale — the deserialisation path of
+     * the persistent result store (serve/store.h). The keys must be
+     * keyFor renderings for this histogram's test, and `observed`
+     * must be the condition-satisfying count of those very runs; the
+     * store guarantees both by keying records on the full test text.
+     * Replaces any previously recorded state.
+     */
+    void restore(std::map<std::string, uint64_t> counts,
+                 uint64_t observed, uint64_t total);
+
   private:
     const Test *test_;
     std::vector<RegKey> regs_;

@@ -1,0 +1,528 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "common/strutil.h"
+#include "eval/backend.h"
+#include "litmus/library.h"
+#include "litmus/parser.h"
+#include "model/checker.h"
+#include "scenario/registry.h"
+#include "sim/chip.h"
+
+namespace gpulitmus::serve {
+
+std::string
+jsonField(const std::string &key, const std::string &value)
+{
+    return "\"" + jsonEscape(key) + "\":\"" + jsonEscape(value) +
+           "\"";
+}
+
+namespace {
+
+const std::vector<std::string> kCommands = {
+    "hello",   "list",    "stats",    "sweep",
+    "validate", "explore", "scenario", "shutdown",
+};
+
+bool
+knownCommand(const std::string &cmd)
+{
+    return std::find(kCommands.begin(), kCommands.end(), cmd) !=
+           kCommands.end();
+}
+
+} // namespace
+
+std::optional<Request>
+parseRequest(const std::string &line, std::string *error)
+{
+    auto doc = json::parse(line, error);
+    if (!doc)
+        return std::nullopt;
+    if (!doc->isObject()) {
+        if (error)
+            *error = "request must be a JSON object";
+        return std::nullopt;
+    }
+
+    Request req;
+    req.cmd = doc->getString("cmd", "");
+    if (req.cmd.empty()) {
+        if (error)
+            *error = "missing \"cmd\"";
+        return std::nullopt;
+    }
+    if (!knownCommand(req.cmd)) {
+        if (error)
+            *error = "unknown cmd '" + req.cmd +
+                     "' (valid: " + join(kCommands, ", ") + ")";
+        return std::nullopt;
+    }
+    req.id = doc->getString("id", "");
+
+    for (const auto &t : doc->getArray("tests")) {
+        TestSpec spec;
+        if (t.isString()) {
+            // Shorthand: a bare string is a library id or a scenario
+            // spec, disambiguated by the "scenario:" prefix — same as
+            // a CLI positional.
+            if (scenario::isSpec(t.string()))
+                spec.spec = t.string();
+            else
+                spec.name = t.string();
+        } else if (t.isObject()) {
+            spec.name = t.getString("name", "");
+            spec.source = t.getString("source", "");
+            spec.spec = t.getString("spec", "");
+        } else {
+            if (error)
+                *error = "each tests[] entry must be a string or an"
+                         " object";
+            return std::nullopt;
+        }
+        if (spec.name.empty() && spec.source.empty() &&
+            spec.spec.empty()) {
+            if (error)
+                *error = "tests[] entry names no test (want name,"
+                         " source or spec)";
+            return std::nullopt;
+        }
+        req.tests.push_back(std::move(spec));
+    }
+
+    for (const auto &c : doc->getArray("chips")) {
+        if (!c.isString()) {
+            if (error)
+                *error = "chips[] entries must be strings";
+            return std::nullopt;
+        }
+        req.chips.push_back(c.string());
+    }
+    for (const auto &m : doc->getArray("models")) {
+        if (!m.isString()) {
+            if (error)
+                *error = "models[] entries must be strings";
+            return std::nullopt;
+        }
+        req.models.push_back(m.string());
+    }
+    for (const auto &col : doc->getArray("columns")) {
+        if (!col.isNumber() || col.integer() < 1 ||
+            col.integer() > 16) {
+            if (error)
+                *error = "columns[] entries must be integers 1..16";
+            return std::nullopt;
+        }
+        req.columns.push_back(static_cast<int>(col.integer()));
+    }
+    int64_t column = doc->getInt("column", 16);
+    if (column < 1 || column > 16) {
+        if (error)
+            *error = "column must be 1..16";
+        return std::nullopt;
+    }
+    req.column = static_cast<int>(column);
+    req.iterations =
+        static_cast<uint64_t>(doc->getInt("iterations", 0));
+    req.seed = static_cast<uint64_t>(doc->getInt("seed", 0x6c69));
+    req.budget =
+        static_cast<uint64_t>(doc->getInt("budget", 1 << 20));
+    req.exact = doc->getBool("exact", false);
+    return req;
+}
+
+std::string
+renderRequest(const Request &req)
+{
+    std::string out = "{" + jsonField("cmd", req.cmd);
+    if (!req.id.empty())
+        out += "," + jsonField("id", req.id);
+    if (!req.tests.empty()) {
+        out += ",\"tests\":[";
+        bool first = true;
+        for (const auto &t : req.tests) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "{";
+            bool f2 = true;
+            auto field = [&](const char *key,
+                             const std::string &value) {
+                if (value.empty())
+                    return;
+                if (!f2)
+                    out += ",";
+                f2 = false;
+                out += jsonField(key, value);
+            };
+            field("name", t.name);
+            field("source", t.source);
+            field("spec", t.spec);
+            out += "}";
+        }
+        out += "]";
+    }
+    auto strArray = [&out](const char *key,
+                           const std::vector<std::string> &values) {
+        if (values.empty())
+            return;
+        out += std::string(",\"") + key + "\":[";
+        bool first = true;
+        for (const auto &v : values) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + jsonEscape(v) + "\"";
+        }
+        out += "]";
+    };
+    strArray("chips", req.chips);
+    strArray("models", req.models);
+    if (!req.columns.empty()) {
+        out += ",\"columns\":[";
+        bool first = true;
+        for (int c : req.columns) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += std::to_string(c);
+        }
+        out += "]";
+    }
+    out += ",\"column\":" + std::to_string(req.column);
+    if (req.iterations)
+        out += ",\"iterations\":" + std::to_string(req.iterations);
+    out += ",\"seed\":" + std::to_string(req.seed);
+    out += ",\"budget\":" + std::to_string(req.budget);
+    if (req.exact)
+        out += ",\"exact\":true";
+    return out + "}";
+}
+
+// ---- planning -------------------------------------------------------
+
+namespace {
+
+struct LoadedTest
+{
+    litmus::Test test;
+    int minMicroSteps = 0;
+};
+
+/** Resolve one TestSpec — library id, inline source or scenario spec
+ * — without ever being fatal (the daemon survives bad requests). */
+std::optional<LoadedTest>
+resolveTest(const TestSpec &spec, std::string *error)
+{
+    if (!spec.spec.empty()) {
+        auto built = scenario::buildSpec(spec.spec, error);
+        if (!built)
+            return std::nullopt;
+        return LoadedTest{std::move(built->test),
+                          built->maxMicroSteps};
+    }
+    if (!spec.source.empty()) {
+        litmus::ParseError err;
+        auto test = litmus::parseTest(spec.source, &err);
+        if (!test) {
+            if (error)
+                *error = "cannot parse inline test: " + err.message;
+            return std::nullopt;
+        }
+        return LoadedTest{std::move(*test), 0};
+    }
+    for (auto &named : litmus::paperlib::allTests()) {
+        if (named.id == spec.name)
+            return LoadedTest{std::move(named.test), 0};
+    }
+    if (error) {
+        std::vector<std::string> ids;
+        for (const auto &named : litmus::paperlib::allTests())
+            ids.push_back(named.id);
+        *error = "unknown test '" + spec.name +
+                 "' (library ids: " + join(ids, ", ") + ")";
+    }
+    return std::nullopt;
+}
+
+/** sim::chip() is fatal on unknown names; the daemon looks names up
+ * itself so a typo'd request errors instead of killing the server. */
+const sim::ChipProfile *
+resolveChip(const std::string &name, std::string *error)
+{
+    for (const auto &c : sim::allChips()) {
+        if (c.shortName == name)
+            return &c;
+    }
+    if (error) {
+        std::vector<std::string> names;
+        for (const auto &c : sim::allChips())
+            names.push_back(c.shortName);
+        *error = "unknown chip '" + name +
+                 "' (valid: " + join(names, ", ") + ")";
+    }
+    return nullptr;
+}
+
+bool
+resolveChips(const Request &req,
+             const std::vector<sim::ChipProfile> &fallback,
+             std::vector<sim::ChipProfile> *out, std::string *error)
+{
+    if (req.chips.empty()) {
+        *out = fallback;
+        return true;
+    }
+    if (req.chips.size() == 1 && req.chips[0] == "all") {
+        *out = sim::allChips();
+        return true;
+    }
+    for (const auto &name : req.chips) {
+        const sim::ChipProfile *chip = resolveChip(name, error);
+        if (!chip)
+            return false;
+        out->push_back(*chip);
+    }
+    return true;
+}
+
+/** Resolve the model list: default ptx, "none" empties it, every id
+ * must be a model backend (not "sim"/"mc"). */
+bool
+resolveModels(const Request &req, std::vector<std::string> *out,
+              std::string *error)
+{
+    std::vector<std::string> models = req.models;
+    if (models.empty())
+        models.push_back("ptx");
+    if (models.size() == 1 && models[0] == "none")
+        return true;
+    for (const auto &id : models) {
+        if (!eval::modelBackendByName(id, error))
+            return false;
+        out->push_back(id);
+    }
+    return true;
+}
+
+bool
+planSweep(const Request &req, Plan *plan, std::string *error)
+{
+    std::vector<sim::ChipProfile> chips;
+    if (!resolveChips(req, {sim::chip("Titan")}, &chips, error))
+        return false;
+    std::vector<int> columns = req.columns;
+    if (columns.empty()) {
+        for (int c = 1; c <= 16; ++c)
+            columns.push_back(c);
+    }
+
+    harness::RunConfig cfg;
+    cfg.iterations = req.iterations ? req.iterations
+                                    : harness::defaultIterations();
+    cfg.seed = req.seed;
+
+    for (const auto &spec : req.tests) {
+        auto loaded = resolveTest(spec, error);
+        if (!loaded)
+            return false;
+        harness::RunConfig test_cfg = cfg;
+        test_cfg.maxMicroSteps =
+            std::max(cfg.maxMicroSteps, loaded->minMicroSteps);
+        for (const auto &chip : chips) {
+            std::vector<std::string> quirks;
+            auto to_run =
+                eval::compileForChip(loaded->test, chip, &quirks);
+            for (const auto &q : quirks)
+                plan->notes.push_back("compile note (" +
+                                      chip.shortName + "): " + q);
+            if (!to_run) {
+                plan->skipped.push_back(loaded->test.name + " on " +
+                                        chip.shortName);
+                continue;
+            }
+            for (int col : columns) {
+                harness::Job job = harness::Job::fromConfig(
+                    chip, *to_run, test_cfg);
+                job.inc = sim::Incantations::fromColumn(col);
+                job.label = loaded->test.name;
+                plan->jobs.push_back(std::move(job));
+            }
+        }
+    }
+    return true;
+}
+
+bool
+planValidate(const Request &req, Plan *plan, std::string *error)
+{
+    std::vector<std::string> models;
+    if (!resolveModels(req, &models, error))
+        return false;
+    if (models.empty()) {
+        if (error)
+            *error = "validate needs at least one model";
+        return false;
+    }
+    // Default chip set as in the CLI: the Nvidia chips of the paper's
+    // result rows (the models target PTX).
+    std::vector<sim::ChipProfile> nvidia;
+    for (const auto &c : sim::resultChips()) {
+        if (c.isNvidia())
+            nvidia.push_back(c);
+    }
+    std::vector<sim::ChipProfile> chips;
+    if (!resolveChips(req, nvidia, &chips, error))
+        return false;
+
+    harness::RunConfig cfg;
+    cfg.iterations = req.iterations ? req.iterations
+                                    : harness::defaultIterations();
+    cfg.seed = req.seed;
+    cfg.inc = sim::Incantations::fromColumn(req.column);
+
+    for (const auto &spec : req.tests) {
+        auto loaded = resolveTest(spec, error);
+        if (!loaded)
+            return false;
+        if (!model::inModelScope(loaded->test)) {
+            plan->notes.push_back(
+                loaded->test.name +
+                " is outside the model scope (.ca/volatile/loops,"
+                " Sec. 5.5); skipped");
+            ++plan->outOfScope;
+            continue;
+        }
+        harness::RunConfig test_cfg = cfg;
+        test_cfg.maxMicroSteps =
+            std::max(cfg.maxMicroSteps, loaded->minMicroSteps);
+        for (const auto &chip : chips) {
+            std::vector<std::string> quirks;
+            auto to_run =
+                eval::compileForChip(loaded->test, chip, &quirks);
+            for (const auto &q : quirks)
+                plan->notes.push_back("compile note (" +
+                                      chip.shortName + "): " + q);
+            if (!to_run) {
+                plan->skipped.push_back(loaded->test.name + " on " +
+                                        chip.shortName);
+                continue;
+            }
+            harness::Job sim_job = harness::Job::fromConfig(
+                chip, *to_run, test_cfg);
+            sim_job.label = loaded->test.name;
+            plan->jobs.push_back(sim_job);
+            if (req.exact) {
+                harness::Job mc_job = sim_job;
+                mc_job.backend = harness::kMcBackend;
+                mc_job.iterations = req.budget;
+                plan->jobs.push_back(std::move(mc_job));
+            }
+            for (const auto &model : models) {
+                harness::Job model_job = sim_job;
+                model_job.backend = model;
+                plan->jobs.push_back(std::move(model_job));
+            }
+        }
+    }
+    if (plan->jobs.empty()) {
+        if (error) {
+            *error = plan->outOfScope
+                         ? "no in-scope tests to validate"
+                         : "nothing to validate — every cell was"
+                           " miscompiled";
+        }
+        return false;
+    }
+    return true;
+}
+
+bool
+planExplore(const Request &req, Plan *plan, std::string *error)
+{
+    std::vector<sim::ChipProfile> chips;
+    if (!resolveChips(req, {sim::chip("Titan")}, &chips, error))
+        return false;
+    std::vector<std::string> models;
+    if (!resolveModels(req, &models, error))
+        return false;
+
+    harness::RunConfig cfg;
+    cfg.inc = sim::Incantations::fromColumn(req.column);
+    cfg.iterations = req.budget;
+
+    for (const auto &spec : req.tests) {
+        auto loaded = resolveTest(spec, error);
+        if (!loaded)
+            return false;
+        harness::RunConfig test_cfg = cfg;
+        test_cfg.maxMicroSteps =
+            std::max(cfg.maxMicroSteps, loaded->minMicroSteps);
+        // Out-of-scope tests still explore — the reachable set is a
+        // property of the machine — but skip the model join, exactly
+        // as the batch CLI does.
+        bool in_scope = model::inModelScope(loaded->test);
+        if (!in_scope)
+            ++plan->outOfScope;
+        for (const auto &chip : chips) {
+            std::vector<std::string> quirks;
+            auto to_run =
+                eval::compileForChip(loaded->test, chip, &quirks);
+            for (const auto &q : quirks)
+                plan->notes.push_back("compile note (" +
+                                      chip.shortName + "): " + q);
+            if (!to_run) {
+                plan->skipped.push_back(loaded->test.name + " on " +
+                                        chip.shortName);
+                continue;
+            }
+            harness::Job mc_job = harness::Job::fromConfig(
+                chip, *to_run, test_cfg);
+            mc_job.backend = harness::kMcBackend;
+            mc_job.label = loaded->test.name;
+            plan->jobs.push_back(mc_job);
+            if (in_scope) {
+                for (const auto &model : models) {
+                    harness::Job model_job = mc_job;
+                    model_job.backend = model;
+                    plan->jobs.push_back(std::move(model_job));
+                }
+            }
+        }
+    }
+    if (plan->jobs.empty()) {
+        if (error)
+            *error = "nothing to explore — every cell was"
+                     " miscompiled";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+planJobs(const Request &req, Plan *plan, std::string *error)
+{
+    if (req.tests.empty()) {
+        if (error)
+            *error = "'" + req.cmd + "' needs a tests[] list";
+        return false;
+    }
+    if (req.cmd == "sweep")
+        return planSweep(req, plan, error);
+    if (req.cmd == "validate")
+        return planValidate(req, plan, error);
+    // "scenario" is explore over scenario specs: the planner is the
+    // same; the name documents the intent (and the CI smoke uses it).
+    if (req.cmd == "explore" || req.cmd == "scenario")
+        return planExplore(req, plan, error);
+    if (error)
+        *error = "cmd '" + req.cmd + "' carries no jobs";
+    return false;
+}
+
+} // namespace gpulitmus::serve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The `gpulitmus serve` wire protocol: line-delimited JSON requests
+ * and events, plus the shared request -> job planner.
+ *
+ * One request is one JSON object on one line; the daemon answers with
+ * a stream of JSON event lines for that request and is ready for the
+ * next line when the terminal `done` (or `error`) event has been
+ * written. Full request/event schemas are documented in docs/SERVE.md;
+ * the short form:
+ *
+ *   request: {"cmd":"validate","id":"r1","tests":[{"name":"mp"}],
+ *             "chips":["Titan"],"models":["ptx"],"column":16,...}
+ *   events:  {"event":"accepted","id":"r1","jobs":3}
+ *            {"event":"progress","id":"r1","done":1,"total":2,...}
+ *            {"event":"result","id":"r1",...}        (one per job)
+ *            {"event":"summary","id":"r1","exit":0,...}
+ *            {"event":"done","id":"r1"}
+ *
+ * The planner (planJobs) mirrors the batch CLI's job construction —
+ * per-chip compilation via eval::compileForChip, model-scope policy
+ * via model::inModelScope, the same defaults (chips, models, seeds,
+ * budgets) — so a request submitted over the socket evaluates
+ * bit-identically to the equivalent `gpulitmus sweep/validate/explore`
+ * invocation. That equivalence is the serve-vs-batch acceptance test.
+ */
+
+#ifndef GPULITMUS_SERVE_PROTOCOL_H
+#define GPULITMUS_SERVE_PROTOCOL_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/campaign.h"
+
+namespace gpulitmus::serve {
+
+/** One test reference inside a request: exactly one of the fields is
+ * set — a built-in paper-library id, raw .litmus source, or a
+ * registry-scenario spec ("scenario:<name>[,k=v...]"). */
+struct TestSpec
+{
+    std::string name;   ///< paper-library id (e.g. "mp", "coRR")
+    std::string source; ///< inline .litmus text
+    std::string spec;   ///< scenario spec
+};
+
+/** A parsed request line. Defaults mirror the batch CLI flags. */
+struct Request
+{
+    /** hello | list | stats | sweep | validate | explore | scenario |
+     * shutdown. "scenario" is explore with scenario-spec tests — the
+     * whole-application entry point. */
+    std::string cmd;
+    /** Client-chosen correlation id, echoed in every event. */
+    std::string id;
+
+    std::vector<TestSpec> tests;
+    /** Chip short names; "all" expands the registry. Empty: the
+     * per-command default (sweep/explore: Titan; validate: the
+     * Nvidia result chips). */
+    std::vector<std::string> chips;
+    /** Model backend ids; "none" disables the join. Empty: ptx. */
+    std::vector<std::string> models;
+
+    /** Incantation columns (sweep). Empty: 1..16. */
+    std::vector<int> columns;
+    /** Incantation column (validate/explore/scenario). */
+    int column = 16;
+    /** Iterations per sim cell; 0 = harness::defaultIterations(). */
+    uint64_t iterations = 0;
+    /** Base seed — the batch CLI's --seed default. */
+    uint64_t seed = 0x6c69;
+    /** Exploration replay budget (mc cells). */
+    uint64_t budget = 1 << 20;
+    /** validate only: add one exhaustive exploration per sim cell. */
+    bool exact = false;
+};
+
+/** Parse one request line. nullopt + `error` on malformed JSON, a
+ * missing/unknown cmd, or bad field types. */
+std::optional<Request> parseRequest(const std::string &line,
+                                    std::string *error);
+
+/** Render a Request back to its wire line (no trailing newline); the
+ * client side of parseRequest. */
+std::string renderRequest(const Request &req);
+
+/** The job list a request plans to, plus everything the planner had
+ * to say about it. */
+struct Plan
+{
+    std::vector<harness::Job> jobs;
+    /** (test, chip) cells dropped as miscompiled ("<test> on <chip>"). */
+    std::vector<std::string> skipped;
+    /** Compile quirks and scope notes, human-readable. */
+    std::vector<std::string> notes;
+    /** Tests excluded from the model join (out of model scope). */
+    size_t outOfScope = 0;
+};
+
+/**
+ * Expand a job-carrying request (sweep/validate/explore/scenario)
+ * into its job list, mirroring the batch CLI exactly. False + `error`
+ * on unresolvable tests/chips/models or an empty plan (every cell
+ * miscompiled / nothing in scope).
+ */
+bool planJobs(const Request &req, Plan *plan, std::string *error);
+
+/** JSON string field helper shared by the server/client event code:
+ * `"key":"escaped"`. */
+std::string jsonField(const std::string &key, const std::string &value);
+
+} // namespace gpulitmus::serve
+
+#endif // GPULITMUS_SERVE_PROTOCOL_H

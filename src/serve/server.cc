@@ -1,0 +1,640 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "common/version.h"
+#include "litmus/library.h"
+#include "scenario/registry.h"
+#include "sim/chip.h"
+
+namespace gpulitmus::serve {
+
+int Server::sSignalPipe[2] = {-1, -1};
+
+namespace {
+
+/** Start an event object: `{"event":"<name>"[,"id":"<id>"]`. The
+ * caller appends fields and the closing brace. */
+std::string
+eventHead(const char *event, const std::string &id)
+{
+    std::string e = std::string("{\"event\":\"") + event + "\"";
+    if (!id.empty())
+        e += "," + jsonField("id", id);
+    return e;
+}
+
+std::string
+strArrayJson(const std::vector<std::string> &values)
+{
+    std::string out = "[";
+    bool first = true;
+    for (const auto &v : values) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(v) + "\"";
+    }
+    return out + "]";
+}
+
+/** The registry as one JSON object — the daemon's answer to `list`,
+ * ABI stamp included so clients can check compatibility. */
+std::string
+registryJson()
+{
+    std::string out = "\"abi\":\"";
+    out += kAbiVersionString;
+    out += "\",\"abi_version\":" + std::to_string(kAbiVersion);
+    out += ",\"scenarios\":[";
+    bool first = true;
+    for (const auto &s : scenario::all()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{" + jsonField("name", s.name) + "," +
+               jsonField("spec", "scenario:" + s.name) + "," +
+               jsonField("summary", s.summary) + "}";
+    }
+    out += "],\"library\":[";
+    first = true;
+    for (const auto &t : litmus::paperlib::allTests()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(t.id) + "\"";
+    }
+    out += "],\"chips\":[";
+    first = true;
+    for (const auto &c : sim::allChips()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(c.shortName) + "\"";
+    }
+    out += "],\"models\":" +
+           strArrayJson(eval::builtinModelNames());
+    out += ",\"backends\":" +
+           strArrayJson(eval::builtinBackendNames());
+    return out;
+}
+
+bool
+writeAll(int fd, std::string_view bytes)
+{
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n =
+            ::send(fd, bytes.data() + off, bytes.size() - off,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+// ---- Client ---------------------------------------------------------
+
+struct Server::Client
+{
+    int fd;
+    std::string inbuf;
+    std::mutex writeMutex;
+
+    /** Write one event line; serialised because progress events come
+     * from engine worker threads while the handler owns the socket. */
+    bool
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        return writeAll(fd, line + "\n");
+    }
+
+    /**
+     * Next request line; polls so the handler can notice daemon
+     * shutdown instead of blocking in read() forever. Returns false
+     * on EOF/error or when `running` drops.
+     */
+    bool
+    readLine(std::string *line, const std::atomic<bool> &running)
+    {
+        for (;;) {
+            auto nl = inbuf.find('\n');
+            if (nl != std::string::npos) {
+                *line = inbuf.substr(0, nl);
+                inbuf.erase(0, nl + 1);
+                if (!line->empty() && line->back() == '\r')
+                    line->pop_back();
+                return true;
+            }
+            if (!running.load())
+                return false;
+            struct pollfd pfd{fd, POLLIN, 0};
+            int ready = ::poll(&pfd, 1, 250);
+            if (ready < 0 && errno != EINTR)
+                return false;
+            if (ready <= 0)
+                continue;
+            char buf[4096];
+            ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n == 0)
+                return false; // peer closed
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            inbuf.append(buf, static_cast<size_t>(n));
+        }
+    }
+};
+
+// ---- lifecycle ------------------------------------------------------
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server()
+{
+    if (unixFd_ >= 0) {
+        ::close(unixFd_);
+        ::unlink(opts_.socketPath.c_str());
+    }
+    if (tcpFd_ >= 0)
+        ::close(tcpFd_);
+}
+
+std::unique_ptr<Server>
+Server::create(const ServerOptions &opts, std::string *error)
+{
+    std::unique_ptr<Server> server(new Server(opts));
+    if (!server->setup(error))
+        return nullptr;
+    return server;
+}
+
+bool
+Server::setup(std::string *error)
+{
+    if (opts_.socketPath.empty() && opts_.tcpPort == 0) {
+        if (error)
+            *error = "serve needs a --socket path or a --port";
+        return false;
+    }
+
+    if (!opts_.storeDir.empty()) {
+        StoreOptions sopts;
+        sopts.maxBytes = opts_.maxStoreBytes;
+        store_ = ResultStore::open(opts_.storeDir, sopts, error);
+        if (!store_)
+            return false;
+    }
+
+    eval::EngineOptions eopts;
+    eopts.threads = opts_.threads;
+    eopts.store = store_.get();
+    engine_ = std::make_unique<eval::Engine>(eopts);
+
+    if (sSignalPipe[0] < 0) {
+        if (::pipe(sSignalPipe) != 0) {
+            if (error)
+                *error = std::string("cannot create signal pipe: ") +
+                         std::strerror(errno);
+            return false;
+        }
+        for (int fd : sSignalPipe)
+            ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    }
+
+    if (!opts_.socketPath.empty()) {
+        struct sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (opts_.socketPath.size() >= sizeof addr.sun_path) {
+            if (error)
+                *error = "socket path too long (" +
+                         std::to_string(opts_.socketPath.size()) +
+                         " bytes; limit " +
+                         std::to_string(sizeof addr.sun_path - 1) +
+                         ")";
+            return false;
+        }
+        std::strncpy(addr.sun_path, opts_.socketPath.c_str(),
+                     sizeof addr.sun_path - 1);
+        ::unlink(opts_.socketPath.c_str()); // stale socket from a kill
+        unixFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (unixFd_ < 0 ||
+            ::bind(unixFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0 ||
+            ::listen(unixFd_, 16) != 0) {
+            if (error)
+                *error = "cannot listen on '" + opts_.socketPath +
+                         "': " + std::strerror(errno);
+            return false;
+        }
+    }
+
+    if (opts_.tcpPort != 0) {
+        struct sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(opts_.tcpPort));
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        tcpFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        int one = 1;
+        if (tcpFd_ >= 0)
+            ::setsockopt(tcpFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof one);
+        if (tcpFd_ < 0 ||
+            ::bind(tcpFd_, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0 ||
+            ::listen(tcpFd_, 16) != 0) {
+            if (error)
+                *error = "cannot listen on 127.0.0.1:" +
+                         std::to_string(opts_.tcpPort) + ": " +
+                         std::strerror(errno);
+            return false;
+        }
+    }
+
+    replayJournal();
+    return true;
+}
+
+void
+Server::notifySignal(int)
+{
+    if (sSignalPipe[1] >= 0) {
+        char byte = 1;
+        // Best effort; a full pipe already means a pending wakeup.
+        [[maybe_unused]] ssize_t n =
+            ::write(sSignalPipe[1], &byte, 1);
+    }
+}
+
+void
+Server::shutdown()
+{
+    running_.store(false);
+    notifySignal(0);
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    return stats_;
+}
+
+// ---- journal --------------------------------------------------------
+
+std::string
+Server::journalPath(uint64_t seq) const
+{
+    return opts_.storeDir + "/pending/" + std::to_string(seq) +
+           ".req";
+}
+
+void
+Server::replayJournal()
+{
+    if (!store_)
+        return;
+    std::string dir = opts_.storeDir + "/pending";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return;
+
+    std::vector<std::pair<uint64_t, std::string>> entries;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() != ".req")
+            continue;
+        auto seq = parseInt(entry.path().stem().string());
+        entries.push_back(
+            {seq ? static_cast<uint64_t>(*seq) : 0,
+             entry.path().string()});
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto &[seq, path] : entries)
+        journalSeq_ = std::max(journalSeq_.load(), seq + 1);
+
+    // Requests interrupted by a crash/kill re-run to completion:
+    // every cell already in the store is a hit, only the tail
+    // computes. No client is attached, so results go to the store
+    // alone — the resubmitting client gets them as store hits.
+    for (const auto &[seq, path] : entries) {
+        std::ifstream in(path);
+        std::string line;
+        if (!in || !std::getline(in, line)) {
+            ::unlink(path.c_str());
+            continue;
+        }
+        std::string error;
+        auto req = parseRequest(line, &error);
+        Plan plan;
+        if (!req || !planJobs(*req, &plan, &error)) {
+            warn("serve: dropping unreplayable journal entry %s: %s",
+                 path.c_str(), error.c_str());
+            ::unlink(path.c_str());
+            continue;
+        }
+        inform("serve: replaying interrupted request '%s' (%zu jobs)",
+               req->id.c_str(), plan.jobs.size());
+        engine_->run(plan.jobs);
+        store_->flush();
+        ::unlink(path.c_str());
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.replayedRequests;
+    }
+}
+
+// ---- accept loop ----------------------------------------------------
+
+void
+Server::run()
+{
+    running_.store(true);
+    acceptLoop();
+
+    // Drain: handler threads notice running_ == false at their next
+    // poll tick and finish their in-flight request first.
+    std::vector<std::thread> clients;
+    {
+        std::lock_guard<std::mutex> lock(clientsMutex_);
+        clients.swap(clients_);
+    }
+    for (auto &t : clients)
+        t.join();
+
+    if (store_) {
+        std::string error;
+        if (!store_->flush(&error))
+            warn("serve: final store flush failed: %s",
+                 error.c_str());
+    }
+}
+
+void
+Server::acceptLoop()
+{
+    while (running_.load()) {
+        struct pollfd pfds[3];
+        nfds_t n = 0;
+        int unix_slot = -1, tcp_slot = -1;
+        if (unixFd_ >= 0) {
+            unix_slot = static_cast<int>(n);
+            pfds[n++] = {unixFd_, POLLIN, 0};
+        }
+        if (tcpFd_ >= 0) {
+            tcp_slot = static_cast<int>(n);
+            pfds[n++] = {tcpFd_, POLLIN, 0};
+        }
+        int sig_slot = static_cast<int>(n);
+        pfds[n++] = {sSignalPipe[0], POLLIN, 0};
+
+        int ready = ::poll(pfds, n, 500);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll failed: %s", std::strerror(errno));
+            break;
+        }
+        if (ready == 0)
+            continue;
+        if (pfds[sig_slot].revents & POLLIN) {
+            char drain[64];
+            while (::read(sSignalPipe[0], drain, sizeof drain) > 0) {
+            }
+            running_.store(false);
+            break;
+        }
+        for (int slot : {unix_slot, tcp_slot}) {
+            if (slot < 0 || !(pfds[slot].revents & POLLIN))
+                continue;
+            int fd = ::accept(pfds[slot].fd, nullptr, nullptr);
+            if (fd < 0)
+                continue;
+            {
+                std::lock_guard<std::mutex> lock(statsMutex_);
+                ++stats_.connections;
+            }
+            std::lock_guard<std::mutex> lock(clientsMutex_);
+            clients_.emplace_back(
+                [this, fd]() { handleClient(fd); });
+        }
+    }
+}
+
+void
+Server::handleClient(int fd)
+{
+    Client client{fd};
+    // Handshake first: the client learns the ABI generation before
+    // submitting anything, so a stale client can bail out early.
+    client.writeLine(eventHead("hello", "") +
+                     ",\"abi\":\"" + kAbiVersionString +
+                     "\",\"abi_version\":" +
+                     std::to_string(kAbiVersion) +
+                     ",\"threads\":" +
+                     std::to_string(engine_->threads()) +
+                     ",\"store_records\":" +
+                     std::to_string(store_ ? store_->size() : 0) +
+                     "}");
+
+    std::string line;
+    while (client.readLine(&line, running_)) {
+        if (trim(line).empty())
+            continue;
+        handleRequest(client, line);
+    }
+    ::close(fd);
+}
+
+// ---- request handling -----------------------------------------------
+
+void
+Server::handleRequest(Client &client, const std::string &line)
+{
+    std::string error;
+    auto req = parseRequest(line, &error);
+    if (!req) {
+        client.writeLine(eventHead("error", "") + "," +
+                         jsonField("message", error) + "}");
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        ++stats_.requests;
+    }
+
+    if (req->cmd == "hello") {
+        client.writeLine(eventHead("hello", req->id) +
+                         ",\"abi\":\"" + kAbiVersionString +
+                         "\",\"abi_version\":" +
+                         std::to_string(kAbiVersion) + "}");
+        return;
+    }
+    if (req->cmd == "list") {
+        client.writeLine(eventHead("list", req->id) + "," +
+                         registryJson() + "}");
+        client.writeLine(eventHead("done", req->id) + "}");
+        return;
+    }
+    if (req->cmd == "stats") {
+        ServerStats s = stats();
+        StoreStats ss = store_ ? store_->stats() : StoreStats{};
+        client.writeLine(
+            eventHead("stats", req->id) +
+            ",\"connections\":" + std::to_string(s.connections) +
+            ",\"requests\":" + std::to_string(s.requests) +
+            ",\"jobs\":" + std::to_string(s.jobs) +
+            ",\"replayed_requests\":" +
+            std::to_string(s.replayedRequests) +
+            ",\"store_records\":" +
+            std::to_string(store_ ? store_->size() : 0) +
+            ",\"store_hits\":" + std::to_string(ss.hits) +
+            ",\"store_misses\":" + std::to_string(ss.misses) +
+            ",\"engine_cache_hits\":" +
+            std::to_string(engine_->cacheHits()) + "}");
+        client.writeLine(eventHead("done", req->id) + "}");
+        return;
+    }
+    if (req->cmd == "shutdown") {
+        client.writeLine(eventHead("done", req->id) + "}");
+        shutdown();
+        return;
+    }
+    runJobsRequest(client, *req);
+}
+
+void
+Server::runJobsRequest(Client &client, const Request &req)
+{
+    Plan plan;
+    std::string error;
+    if (!planJobs(req, &plan, &error)) {
+        client.writeLine(eventHead("error", req.id) + "," +
+                         jsonField("message", error) + "}");
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.jobs += plan.jobs.size();
+    }
+
+    // Journal before running: a daemon killed mid-request replays
+    // this entry at the next startup and completes it from the store.
+    std::string journal;
+    if (store_) {
+        journal = journalPath(journalSeq_.fetch_add(1));
+        std::ofstream out(journal);
+        if (out)
+            out << renderRequest(req) << "\n";
+        else
+            journal.clear();
+    }
+
+    client.writeLine(eventHead("accepted", req.id) +
+                     ",\"jobs\":" +
+                     std::to_string(plan.jobs.size()) +
+                     ",\"skipped\":" + strArrayJson(plan.skipped) +
+                     ",\"notes\":" + strArrayJson(plan.notes) + "}");
+
+    eval::ConformanceSink conformance;
+    auto progress = [&client, &req](size_t done, size_t total,
+                                    const eval::EvalResult &r) {
+        client.writeLine(eventHead("progress", req.id) +
+                         ",\"done\":" + std::to_string(done) +
+                         ",\"total\":" + std::to_string(total) +
+                         "," + jsonField("label", r.label()) + "}");
+    };
+    auto results =
+        engine_->run(plan.jobs, {&conformance}, progress);
+
+    uint64_t served = 0;
+    for (const auto &r : results) {
+        served += r.fromStore ? 1 : 0;
+        client.writeLine(eventHead("result", req.id) +
+                         ",\"cell\":" + eval::evalCellJson(r) + "}");
+    }
+
+    // Exit semantics mirror the batch CLI: 2 for a failed check
+    // (observed/reachable ~exists condition, unsound or inconsistent
+    // cell), 0 otherwise.
+    int exit_code = 0;
+    size_t forbidden_reachable = 0, bounded = 0;
+    for (const auto &r : results) {
+        if (r.hasHist() &&
+            r.job->test.quantifier ==
+                litmus::Quantifier::NotExists &&
+            r.hist->observed() > 0 && req.cmd == "sweep")
+            exit_code = 2;
+        if (r.hasExact()) {
+            const mc::ExploreResult &x = *r.exact;
+            if (!x.complete && !x.fairComplete)
+                ++bounded;
+            if (r.job->test.quantifier ==
+                    litmus::Quantifier::NotExists &&
+                !x.satisfying.empty())
+                ++forbidden_reachable;
+        }
+    }
+    size_t unsound = conformance.unsoundCells();
+    size_t inconsistent = conformance.inconsistentCells();
+    if (req.cmd == "validate" && (unsound || inconsistent))
+        exit_code = 2;
+    if ((req.cmd == "explore" || req.cmd == "scenario") &&
+        (unsound || forbidden_reachable))
+        exit_code = 2;
+
+    std::string summary = eventHead("summary", req.id);
+    summary += ",\"exit\":" + std::to_string(exit_code);
+    summary += ",\"results\":" + std::to_string(results.size());
+    summary += ",\"store_results\":" + std::to_string(served);
+    summary += ",\"cells\":" +
+               std::to_string(conformance.cells().size());
+    summary += ",\"sound\":" +
+               std::to_string(conformance.soundCells());
+    summary += ",\"unsound\":" + std::to_string(unsound);
+    summary += ",\"imprecise\":" +
+               std::to_string(conformance.impreciseCells());
+    summary += ",\"rare\":" + std::to_string(conformance.rareCells());
+    summary += ",\"unreachable\":" +
+               std::to_string(conformance.unreachableCells());
+    summary += ",\"bounded\":" + std::to_string(bounded);
+    summary += ",\"forbidden_reachable\":" +
+               std::to_string(forbidden_reachable);
+    summary += ",\"inconsistent\":" + std::to_string(inconsistent);
+    client.writeLine(summary + "}");
+
+    if (store_) {
+        std::string flush_error;
+        if (!store_->flush(&flush_error))
+            warn("serve: store flush failed: %s",
+                 flush_error.c_str());
+        else if (!journal.empty())
+            ::unlink(journal.c_str());
+    }
+    client.writeLine(eventHead("done", req.id) + "}");
+}
+
+} // namespace gpulitmus::serve

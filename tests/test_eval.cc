@@ -15,7 +15,6 @@
 #include "cat/models.h"
 #include "eval/backend.h"
 #include "harness/campaign.h"
-#include "harness/runner.h"
 #include "litmus/library.h"
 #include "litmus/parser.h"
 #include "model/checker.h"

@@ -11,7 +11,6 @@
 #include <sstream>
 
 #include "harness/campaign.h"
-#include "harness/runner.h"
 #include "litmus/library.h"
 
 namespace gpulitmus::harness {

@@ -13,7 +13,7 @@
 #include <sstream>
 
 #include "cat/models.h"
-#include "harness/runner.h"
+#include "harness/campaign.h"
 #include "litmus/parser.h"
 #include "model/checker.h"
 

@@ -23,7 +23,6 @@
 #include "cat/models.h"
 #include "eval/backend.h"
 #include "harness/campaign.h"
-#include "harness/runner.h"
 #include "litmus/parser.h"
 #include "mc/explorer.h"
 #include "model/checker.h"

@@ -11,7 +11,7 @@
 
 #include "cat/models.h"
 #include "gen/generator.h"
-#include "harness/runner.h"
+#include "harness/campaign.h"
 #include "litmus/library.h"
 #include "model/checker.h"
 

@@ -57,11 +57,31 @@
  *                                        condition included)
  *   gpulitmus chips                      list the chip registry
  *   gpulitmus models                     list the built-in models
+ *   gpulitmus serve --socket PATH|--port N [--store DIR] [--jobs N]
+ *            [--max-store-bytes N]       persistent validation daemon
+ *                                        (docs/SERVE.md): line-JSON
+ *                                        requests over a Unix socket
+ *                                        or loopback TCP, answers
+ *                                        repeated jobs from the
+ *                                        durable result store
+ *   gpulitmus submit <sweep|validate|explore|scenario|list|stats|
+ *            shutdown> [tests...] --socket PATH|--port N
+ *            [batch flags] [--json]      submit one request to a
+ *                                        running daemon; exit status
+ *                                        mirrors the batch command
+ *   gpulitmus status --socket PATH|--port N
+ *                                        daemon + store counters
+ *
+ * `sweep`, `validate` and `explore` also accept --store DIR to reuse
+ * the daemon's durable result store without a daemon: the second run
+ * of the same campaign answers from disk.
  *
  * Exit status: 0 on success, 1 on usage/parse errors, 2 when a check
  * fails (optcheck violation, ~exists condition observed or
  * mc-reachable, or an unsound validate/explore cell).
  */
+
+#include <csignal>
 
 #include <algorithm>
 #include <filesystem>
@@ -74,15 +94,18 @@
 
 #include "cat/models.h"
 #include "common/strutil.h"
+#include "common/version.h"
 #include "eval/backend.h"
 #include "gen/generator.h"
 #include "harness/campaign.h"
-#include "harness/runner.h"
 #include "litmus/library.h"
 #include "litmus/parser.h"
 #include "model/baseline.h"
 #include "model/checker.h"
 #include "scenario/registry.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/store.h"
 #include "opt/amd.h"
 #include "opt/optcheck.h"
 #include "opt/ptxas.h"
@@ -203,6 +226,48 @@ modelBackendByName(const std::string &name)
     return backend;
 }
 
+/**
+ * Open the --store directory when the flag is present: the durable
+ * result store (serve/store.h) slots in behind the engine cache, so a
+ * repeated campaign answers from disk. nullptr without the flag;
+ * prints the error and sets `failed` when the flag is present but the
+ * store cannot open (a requested store that silently vanishes would
+ * turn "instant warm run" into a full recompute).
+ */
+std::unique_ptr<serve::ResultStore>
+openStoreFlag(const Args &args, bool *failed)
+{
+    *failed = false;
+    if (!args.has("store"))
+        return nullptr;
+    serve::StoreOptions opts;
+    opts.maxBytes =
+        static_cast<uint64_t>(args.getInt("max-store-bytes", 0));
+    // Offline CLI use: skip the per-flush fsync; torn-tail recovery
+    // covers a crash, and the OS flushes on exit anyway.
+    opts.syncOnFlush = false;
+    std::string error;
+    auto store = serve::ResultStore::open(args.get("store", ""),
+                                          opts, &error);
+    if (!store) {
+        std::cerr << "error: " << error << "\n";
+        *failed = true;
+        return nullptr;
+    }
+    return store;
+}
+
+/** One-line store epilogue: how much of the campaign came from disk
+ * and what was added (the cold/warm signal BENCH_serve.json gates). */
+void
+printStoreStats(const serve::ResultStore &store)
+{
+    serve::StoreStats s = store.stats();
+    std::cout << "store " << store.dir() << ": " << s.hits
+              << " hits, " << s.misses << " misses, " << s.appends
+              << " new records (" << store.size() << " total)\n";
+}
+
 int
 cmdRun(const Args &args)
 {
@@ -283,7 +348,8 @@ cmdSweep(const Args &args)
     if (args.positional.empty()) {
         std::cerr << "usage: gpulitmus sweep <test> [--chips"
                      " A,B] [--columns 1-16] [--jobs N]"
-                     " [--iterations N] [--seed S] [--json FILE]\n";
+                     " [--iterations N] [--seed S] [--json FILE]"
+                     " [--store DIR]\n";
         return 1;
     }
     auto loaded = loadTest(args.positional[0]);
@@ -335,8 +401,14 @@ cmdSweep(const Args &args)
         }
     }
 
+    bool store_failed = false;
+    auto store = openStoreFlag(args, &store_failed);
+    if (store_failed)
+        return 1;
+
     harness::EngineOptions eopts;
     eopts.threads = static_cast<int>(args.getInt("jobs", 0));
+    eopts.store = store.get();
     harness::Engine engine(eopts);
 
     harness::TableSink table("chip", harness::TableSink::byChip(),
@@ -353,6 +425,10 @@ cmdSweep(const Args &args)
     table.render().print(std::cout);
     for (const auto &name : skipped)
         std::cout << name << ": miscompiled (n/a)\n";
+    if (store) {
+        store->flush();
+        printStoreStats(*store);
+    }
 
     if (args.has("json")) {
         std::string path = args.get("json", "sweep.json");
@@ -440,7 +516,8 @@ cmdValidate(const Args &args)
         std::cerr << "usage: gpulitmus validate <file.litmus...>"
                      " [--models A,B] [--chips A,B] [--column 1..16]"
                      " [--jobs N] [--iterations N] [--seed S]"
-                     " [--exact] [--budget N] [--json FILE]\n";
+                     " [--exact] [--budget N] [--json FILE]"
+                     " [--store DIR]\n";
         return 1;
     }
 
@@ -559,8 +636,14 @@ cmdValidate(const Args &args)
         return 1;
     }
 
+    bool store_failed = false;
+    auto store = openStoreFlag(args, &store_failed);
+    if (store_failed)
+        return 1;
+
     eval::EngineOptions eopts;
     eopts.threads = static_cast<int>(args.getInt("jobs", 0));
+    eopts.store = store.get();
     eval::Engine engine(eopts);
 
     std::cout << "validate: " << tests.size() << " tests";
@@ -619,6 +702,11 @@ cmdValidate(const Args &args)
     }
     std::cout << "\n";
 
+    if (store) {
+        store->flush();
+        printStoreStats(*store);
+    }
+
     // An explorer/simulator divergence is as fatal as unsoundness:
     // the tool's own invariant (sampled outcomes stay inside the
     // exact set) failed, so nothing it printed can be trusted.
@@ -652,7 +740,7 @@ cmdExplore(const Args &args)
         std::cerr << "usage: gpulitmus explore <test...>"
                      " [--chips A,B|all] [--column 1..16]"
                      " [--budget N] [--jobs N] [--models A,B|none]"
-                     " [--json FILE]\n";
+                     " [--json FILE] [--store DIR]\n";
         return 1;
     }
 
@@ -735,8 +823,14 @@ cmdExplore(const Args &args)
         return 1;
     }
 
+    bool store_failed = false;
+    auto store = openStoreFlag(args, &store_failed);
+    if (store_failed)
+        return 1;
+
     eval::EngineOptions eopts;
     eopts.threads = static_cast<int>(args.getInt("jobs", 0));
+    eopts.store = store.get();
     eval::Engine engine(eopts);
 
     std::cout << "explore: " << args.positional.size() << " tests";
@@ -839,6 +933,10 @@ cmdExplore(const Args &args)
     if (forbidden_reachable > 0)
         std::cout << forbidden_reachable
                   << " cells reach their forbidden condition\n";
+    if (store) {
+        store->flush();
+        printStoreStats(*store);
+    }
 
     bool failed = unsound > 0 || forbidden_reachable > 0;
     if (args.has("json")) {
@@ -992,7 +1090,13 @@ cmdList(const Args &args)
     }
 
     if (args.has("json")) {
-        std::string out = "{\"scenarios\":[";
+        // The ABI generation leads: it is what decides whether a
+        // result store (or a serve daemon) built by another binary is
+        // compatible with this one.
+        std::string out = "{\"abi\":\"";
+        out += kAbiVersionString;
+        out += "\",\"abi_version\":" + std::to_string(kAbiVersion);
+        out += ",\"scenarios\":[";
         bool first = true;
         for (const auto &s : scenario::all()) {
             if (!first)
@@ -1139,6 +1243,232 @@ cmdModels()
     return 0;
 }
 
+// ---- serve / submit / status ----------------------------------------
+
+/**
+ * The persistent validation daemon (docs/SERVE.md): listen on a Unix
+ * socket and/or loopback TCP, plan requests through the same planner
+ * the batch commands mirror, answer repeats from the durable result
+ * store. SIGINT/SIGTERM drain in-flight requests, flush the store and
+ * exit 0 — the clean shutdown CI asserts.
+ */
+int
+cmdServe(const Args &args)
+{
+    serve::ServerOptions opts;
+    opts.socketPath = args.get("socket", "");
+    opts.tcpPort = static_cast<int>(args.getInt("port", 0));
+    opts.storeDir = args.get("store", "");
+    opts.threads = static_cast<int>(args.getInt("jobs", 0));
+    opts.maxStoreBytes =
+        static_cast<uint64_t>(args.getInt("max-store-bytes", 0));
+    if (opts.socketPath.empty() && opts.tcpPort == 0) {
+        std::cerr << "usage: gpulitmus serve --socket PATH |"
+                     " --port N [--store DIR] [--jobs N]"
+                     " [--max-store-bytes N]\n";
+        return 1;
+    }
+
+    std::string error;
+    auto server = serve::Server::create(opts, &error);
+    if (!server) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+    }
+
+    struct sigaction sa{};
+    sa.sa_handler = serve::Server::notifySignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    // A client vanishing mid-stream must error the send, not kill
+    // the daemon.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::cout << "gpulitmus serve [" << kAbiVersionString << "]:";
+    if (!opts.socketPath.empty())
+        std::cout << " socket " << opts.socketPath;
+    if (opts.tcpPort != 0)
+        std::cout << " tcp 127.0.0.1:" << opts.tcpPort;
+    if (server->store())
+        std::cout << ", store " << server->store()->dir() << " ("
+                  << server->store()->size() << " records)";
+    else
+        std::cout << ", no store (results are not durable)";
+    std::cout << "\n" << std::flush;
+
+    server->run();
+    std::cout << "gpulitmus serve: drained, store flushed, exiting\n";
+    return 0;
+}
+
+/** Shared by submit/status: connect to --socket or --host/--port. */
+std::unique_ptr<serve::Client>
+connectFlag(const Args &args)
+{
+    std::string error;
+    std::unique_ptr<serve::Client> client;
+    if (args.has("socket"))
+        client =
+            serve::Client::connectUnix(args.get("socket", ""), &error);
+    else if (args.has("port"))
+        client = serve::Client::connectTcp(
+            args.get("host", "127.0.0.1"),
+            static_cast<int>(args.getInt("port", 0)), &error);
+    else
+        error = "need --socket PATH or --port N";
+    if (!client)
+        std::cerr << "error: " << error << "\n";
+    return client;
+}
+
+/**
+ * Submit one request to a running daemon and stream its events. Test
+ * positionals accept everything the batch commands do — library ids,
+ * scenario specs, .litmus paths (sent inline as source, so the daemon
+ * never needs this machine's filesystem). The exit status is the
+ * daemon's verdict: the same 0/1/2 the equivalent batch command
+ * returns.
+ */
+int
+cmdSubmit(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus submit"
+                     " <sweep|validate|explore|scenario|list|stats|"
+                     "shutdown> [tests...] --socket PATH|--port N"
+                     " [--chips A,B] [--models A,B] [--columns 1-16]"
+                     " [--column 1..16] [--iterations N] [--seed S]"
+                     " [--budget N] [--exact] [--json]\n";
+        return 1;
+    }
+
+    serve::Request req;
+    req.cmd = args.positional[0];
+    req.id = args.get("id", "cli");
+    for (size_t i = 1; i < args.positional.size(); ++i) {
+        const std::string &arg = args.positional[i];
+        serve::TestSpec spec;
+        if (scenario::isSpec(arg)) {
+            spec.spec = arg;
+        } else if (std::filesystem::exists(arg)) {
+            // Ship the file's text, not its path: the daemon may not
+            // share this filesystem.
+            std::ifstream in(arg);
+            std::stringstream buffer;
+            buffer << in.rdbuf();
+            spec.source = buffer.str();
+        } else {
+            spec.name = arg; // a paper-library id
+        }
+        req.tests.push_back(std::move(spec));
+    }
+    if (args.has("chips")) {
+        for (const auto &c : split(args.get("chips", ""), ','))
+            req.chips.push_back(trim(c));
+    }
+    if (args.has("models")) {
+        for (const auto &m : split(args.get("models", ""), ','))
+            req.models.push_back(trim(m));
+    }
+    if (args.has("columns")) {
+        req.columns = parseColumns(args.get("columns", ""));
+        if (req.columns.empty()) {
+            std::cerr << "error: invalid --columns '"
+                      << args.get("columns", "")
+                      << "' (want e.g. 1-16, 9 or 1,5,9)\n";
+            return 1;
+        }
+    }
+    req.column = static_cast<int>(args.getInt("column", 16));
+    req.iterations =
+        static_cast<uint64_t>(args.getInt("iterations", 0));
+    req.seed = static_cast<uint64_t>(args.getInt("seed", 0x6c69));
+    req.budget =
+        static_cast<uint64_t>(args.getInt("budget", 1 << 20));
+    req.exact = args.has("exact");
+
+    auto client = connectFlag(args);
+    if (!client)
+        return 1;
+
+    bool raw = args.has("json");
+    auto onEvent = [raw](const json::Value &event,
+                         const std::string &line) {
+        std::string kind = event.getString("event");
+        if (raw) {
+            // Machine consumers (the CI smoke job) get the wire
+            // lines verbatim — including result cells with their
+            // "from_store" markers.
+            std::cout << line << "\n";
+            return;
+        }
+        if (kind == "hello") {
+            std::cerr << "daemon abi " << event.getString("abi")
+                      << ", " << event.getInt("threads", 0)
+                      << " threads, "
+                      << event.getInt("store_records", 0)
+                      << " stored records\n";
+        } else if (kind == "accepted") {
+            std::cerr << "accepted: " << event.getInt("jobs", 0)
+                      << " jobs\n";
+        } else if (kind == "progress") {
+            std::cerr << "  computed " << event.getInt("done", 0)
+                      << "/" << event.getInt("total", 0) << " jobs\r";
+        } else if (kind == "summary") {
+            std::cerr << "\n";
+            std::cout << "results: " << event.getInt("results", 0)
+                      << " (" << event.getInt("store_results", 0)
+                      << " from store), cells "
+                      << event.getInt("cells", 0) << ", sound "
+                      << event.getInt("sound", 0) << ", unsound "
+                      << event.getInt("unsound", 0)
+                      << ", forbidden-reachable "
+                      << event.getInt("forbidden_reachable", 0)
+                      << ", exit " << event.getInt("exit", 0)
+                      << "\n";
+        } else if (kind != "result" && kind != "done") {
+            std::cout << line << "\n";
+        }
+    };
+
+    std::string error;
+    int exit_code = client->submit(req, onEvent, &error);
+    if (exit_code < 0) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+    }
+    if (exit_code == 1 && !error.empty())
+        std::cerr << "error: " << error << "\n";
+    return exit_code;
+}
+
+/** Daemon and store counters (`stats` request), one line of JSON. */
+int
+cmdStatus(const Args &args)
+{
+    auto client = connectFlag(args);
+    if (!client)
+        return 1;
+    serve::Request req;
+    req.cmd = "stats";
+    req.id = args.get("id", "cli");
+    std::string error;
+    int exit_code = client->submit(
+        req,
+        [](const json::Value &event, const std::string &line) {
+            if (event.getString("event") == "stats")
+                std::cout << line << "\n";
+        },
+        &error);
+    if (exit_code != 0) {
+        std::cerr << "error: "
+                  << (error.empty() ? "stats request failed" : error)
+                  << "\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1148,7 +1478,7 @@ main(int argc, char **argv)
         std::cerr
             << "usage: gpulitmus"
                " <run|sweep|check|validate|explore|list|show|sass|"
-               "generate|gen|chips|models> ...\n";
+               "generate|gen|chips|models|serve|submit|status> ...\n";
         return 1;
     }
     std::string cmd = argv[1];
@@ -1177,6 +1507,12 @@ main(int argc, char **argv)
         return cmdChips();
     if (cmd == "models")
         return cmdModels();
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "submit")
+        return cmdSubmit(args);
+    if (cmd == "status")
+        return cmdStatus(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
 }
