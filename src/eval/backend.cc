@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/strutil.h"
 #include "model/baseline.h"
+#include "obs/metrics.h"
 #include "opt/amd.h"
 #include "serve/store.h"
 
@@ -353,8 +354,10 @@ Engine::run(const std::vector<EvalJob> &jobs,
     // result feeds it.
     ops.execute = [&backends, store = store_](const EvalJob &job) {
         if (store) {
-            if (auto hit = store->fetchEval(job))
+            if (auto hit = store->fetchEval(job)) {
+                obs::counter("engine_jobs_from_store_total").add();
                 return std::make_shared<EvalResult>(std::move(*hit));
+            }
         }
         const Backend &backend = *backends.at(job.backend);
         auto result =
@@ -378,6 +381,9 @@ Engine::run(const std::vector<EvalJob> &jobs,
         hit->fromCache = true;
         hit->millis = 0.0;
         return hit;
+    };
+    ops.describe = [](const EvalJob &job) {
+        return job.backend + ":" + job.displayLabel();
     };
 
     auto slots = harness::runBatch<EvalJob, EvalResult>(
@@ -802,18 +808,28 @@ evalCellJson(const EvalResult &result)
         return f + "]";
     };
 
-    auto exactFields = [](const mc::ExploreResult &x) {
+    auto exactFields = [&job](const mc::ExploreResult &x) {
         std::string f;
         f += ",\"chip\":\"" + jsonEscape(x.chipName) + "\"";
         f += ",\"column\":" + std::to_string(x.column);
         f += ",\"complete\":" +
              std::string(x.complete ? "true" : "false");
+        f += ",\"fair_complete\":" +
+             std::string(x.fairComplete ? "true" : "false");
         f += ",\"paths\":" + std::to_string(x.paths);
         f += ",\"replays\":" + std::to_string(x.stats.replays);
         f += ",\"states\":" + std::to_string(x.stats.distinctStates);
         f += ",\"state_cuts\":" + std::to_string(x.stats.stateCuts);
         f += ",\"sleep_skips\":" +
              std::to_string(x.stats.sleepSkips);
+        // Bounded-verdict diagnostics (ISSUE 8): deepest frontier,
+        // checkpoint resumes, and the replay budget the job carried.
+        // The budget comes from the job — not the advisory
+        // ExploreResult fields — so store-served cells render
+        // byte-identically to computed ones (CI diffs them).
+        f += ",\"peak_depth\":" + std::to_string(x.stats.peakDepth);
+        f += ",\"resumes\":" + std::to_string(x.stats.resumes);
+        f += ",\"budget_replays\":" + std::to_string(job.iterations);
         f += ",\"reachable\":{";
         bool first = true;
         for (const auto &[key, weight] : x.finals) {

@@ -20,6 +20,7 @@
 #define GPULITMUS_HARNESS_BATCH_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -28,6 +29,9 @@
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gpulitmus::harness {
 
@@ -103,6 +107,9 @@ struct BatchOps
     std::function<std::shared_ptr<const Result>(const Result &,
                                                 const Job &)>
         servedFrom;
+    /** Human label for telemetry spans (obs/trace.h); optional, only
+     * consulted while a trace is being collected. */
+    std::function<std::string(const Job &)> describe;
 };
 
 /**
@@ -155,24 +162,69 @@ runBatch(const std::vector<Job> &jobs, int threads,
             cache->addHits(batch_hits);
     }
 
+    // Telemetry observes the batch — counters and wall clocks only,
+    // never job identity or sharding, so results stay bit-identical
+    // with GPULITMUS_OBS on or off (tests/test_obs.cc pins this).
+    const bool obs_on = obs::enabled();
+    if (obs_on) {
+        obs::counter("engine_batches_total").add();
+        obs::counter("engine_jobs_total").add(n);
+        obs::counter("engine_jobs_cached_total").add(batch_hits);
+    }
+    const auto batch_start = std::chrono::steady_clock::now();
+    auto micros_since = [](std::chrono::steady_clock::time_point t0) {
+        auto us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return static_cast<uint64_t>(us < 0 ? 0 : us);
+    };
+
     // Shard the compute jobs over the pool. Results are pure
     // functions of their jobs, so any sharding is bit-identical.
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
     std::mutex progress_mutex;
     auto worker = [&]() {
+        const auto worker_start = std::chrono::steady_clock::now();
+        uint64_t busy_us = 0;
         for (;;) {
             size_t c = next.fetch_add(1);
             if (c >= compute.size())
-                return;
+                break;
             size_t idx = compute[c];
-            auto result = ops.execute(jobs[idx]);
+            // Queue wait: how long the job sat behind its batch-mates
+            // before a worker picked it up.
+            if (obs_on)
+                obs::timer("engine_queue_wait_us")
+                    .record(micros_since(batch_start));
+            std::shared_ptr<const Result> result;
+            {
+                obs::Span span(ops.describe && obs::Trace::active()
+                                   ? "job " + ops.describe(jobs[idx])
+                                   : std::string("job"),
+                               "engine");
+                const auto job_start =
+                    std::chrono::steady_clock::now();
+                result = ops.execute(jobs[idx]);
+                if (obs_on) {
+                    uint64_t us = micros_since(job_start);
+                    obs::timer("engine_job_latency_us").record(us);
+                    busy_us += us;
+                }
+            }
             slots[idx] = result;
             size_t finished = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progress_mutex);
                 progress(finished, compute.size(), *result);
             }
+        }
+        // Utilisation: busy µs over wall µs, summed across workers.
+        if (obs_on) {
+            obs::counter("engine_worker_busy_us_total").add(busy_us);
+            obs::counter("engine_worker_wall_us_total")
+                .add(micros_since(worker_start));
         }
     };
 

@@ -15,6 +15,7 @@
 #include "common/log.h"
 #include "common/strutil.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "scenario/registry.h"
 #include "serve/store.h"
 
@@ -242,6 +243,11 @@ runJob(Job job)
     result.millis =
         std::chrono::duration<double, std::milli>(end - start).count();
 
+    if (obs::enabled()) {
+        obs::counter("sim_jobs_total").add();
+        obs::counter("sim_iterations_total").add(owned->iterations);
+    }
+
     if (result.hist.total() > 0) {
         result.observedPer100k =
             result.hist.observed() * 100000 / result.hist.total();
@@ -418,6 +424,7 @@ Engine::run(const std::vector<Job> &jobs,
         hit->millis = 0.0;
         return hit;
     };
+    ops.describe = [](const Job &job) { return job.displayLabel(); };
 
     auto slots = runBatch<Job, JobResult>(
         jobs, threads_, cacheEnabled_ ? &cache_ : nullptr, ops,

@@ -8,6 +8,8 @@
 #include "common/hash.h"
 #include "common/log.h"
 #include "litmus/outcome.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace gpulitmus::mc {
 
@@ -568,6 +570,15 @@ struct Explorer::Impl final : sim::ChoiceProvider
     explore()
     {
         auto start = std::chrono::steady_clock::now();
+        obs::Span span("explore " + test->name + "@" +
+                           machine.chip().shortName,
+                       "mc");
+        // Telemetry observes the search; it never steers it. The
+        // per-replay counter and the heartbeat callback fire on the
+        // replay cadence only — traversal, pruning and results are
+        // bit-identical with them on or off (tests pin this).
+        const bool obs_on = obs::enabled();
+        obs::Counter &replay_counter = obs::counter("mc_replays_total");
         bool complete = true;
         bool drained = false;
         while (!drained) {
@@ -579,6 +590,11 @@ struct Explorer::Impl final : sim::ChoiceProvider
                 break;
             }
             ++stats.replays;
+            if (obs_on)
+                replay_counter.add();
+            if (opts.heartbeat && opts.heartbeatEvery &&
+                stats.replays % opts.heartbeatEvery == 0)
+                opts.heartbeat(stats);
             std::fill(curSleep.begin(), curSleep.end(), 0);
             cutPending = false;
             // Resume from the deepest checkpoint on the spine: the
@@ -649,10 +665,31 @@ struct Explorer::Impl final : sim::ChoiceProvider
             result.paths += rootFinals[id];
         }
         result.stats = stats;
+        result.budgetReplays = opts.maxReplays;
+        result.budgetStates = opts.maxStates;
         auto end = std::chrono::steady_clock::now();
         result.millis =
             std::chrono::duration<double, std::milli>(end - start)
                 .count();
+        // Fold the search-shape statistics into the process registry
+        // (replays were already ticked live for heartbeat rates).
+        if (obs_on) {
+            obs::counter("mc_explorations_total").add();
+            // `complete` (the local) is the budget flag; the result
+            // field also folds in loop-dedup caveats.
+            if (!complete)
+                obs::counter("mc_bounded_total").add();
+            obs::counter("mc_state_cuts_total").add(stats.stateCuts);
+            obs::counter("mc_sleep_skips_total")
+                .add(stats.sleepSkips);
+            obs::counter("mc_states_cached_total")
+                .add(stats.distinctStates);
+            obs::counter("mc_resumes_total").add(stats.resumes);
+            obs::counter("mc_replayed_choices_total")
+                .add(stats.replayedChoices);
+            obs::gauge("mc_last_peak_depth")
+                .set(static_cast<int64_t>(stats.peakDepth));
+        }
         return result;
     }
 };
@@ -726,6 +763,39 @@ ExploreResult::str() const
            std::to_string(stats.sleepSkips) + ", peak depth " +
            std::to_string(stats.peakDepth) + ", replayed choices " +
            std::to_string(stats.replayedChoices) + "\n";
+    return out;
+}
+
+std::string
+ExploreResult::report() const
+{
+    std::string out = str();
+    // The diagnosability tail: which budget bit, and how the search
+    // was shaped when it did. Budgets are advisory fields (0 when the
+    // result came back from the persistent store).
+    auto pct = [](uint64_t used, uint64_t budget) {
+        if (!budget)
+            return std::string("?");
+        return std::to_string(used * 100 / budget) + "%";
+    };
+    out += "budget: replays " + std::to_string(stats.replays);
+    if (budgetReplays)
+        out += "/" + std::to_string(budgetReplays) + " (" +
+               pct(stats.replays, budgetReplays) + ")";
+    out += ", states " + std::to_string(stats.distinctStates);
+    if (budgetStates)
+        out += "/" + std::to_string(budgetStates) + " (" +
+               pct(stats.distinctStates, budgetStates) + ")";
+    out += ", deepest frontier " + std::to_string(stats.peakDepth) +
+           "\n";
+    if (!complete && !fairComplete) {
+        bool replays_out =
+            budgetReplays && stats.replays >= budgetReplays;
+        out += std::string("bounded by: ") +
+               (replays_out ? "replay budget — raise --budget"
+                            : "state cap or step guard") +
+               "\n";
+    }
     return out;
 }
 

@@ -1,0 +1,341 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/strutil.h"
+
+namespace gpulitmus::obs {
+
+// ---- enable switch --------------------------------------------------
+
+namespace {
+
+bool
+envEnabled()
+{
+    const char *v = std::getenv("GPULITMUS_OBS");
+    return !(v && *v == '0' && v[1] == '\0');
+}
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag{envEnabled()};
+    return flag;
+}
+
+} // namespace
+
+bool
+enabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+// ---- thread stripes -------------------------------------------------
+
+namespace detail {
+
+size_t
+threadStripe()
+{
+    static std::atomic<size_t> next{0};
+    thread_local size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+} // namespace detail
+
+// ---- Timer ----------------------------------------------------------
+
+namespace {
+
+size_t
+bucketFor(uint64_t micros)
+{
+    size_t b = 0;
+    while (micros > 1 && b + 1 < Timer::kBuckets) {
+        micros >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+} // namespace
+
+void
+Timer::record(uint64_t micros)
+{
+    if (!enabled())
+        return;
+    size_t s = detail::threadStripe();
+    counts_[s].value.fetch_add(1, std::memory_order_relaxed);
+    sums_[s].value.fetch_add(micros, std::memory_order_relaxed);
+    buckets_[bucketFor(micros)].fetch_add(1,
+                                          std::memory_order_relaxed);
+    uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (micros < seen &&
+           !min_.compare_exchange_weak(seen, micros,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (micros > seen &&
+           !max_.compare_exchange_weak(seen, micros,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+Timer::count() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : counts_)
+        sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+uint64_t
+Timer::sumMicros() const
+{
+    uint64_t sum = 0;
+    for (const auto &s : sums_)
+        sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+uint64_t
+Timer::minMicros() const
+{
+    uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t
+Timer::maxMicros() const
+{
+    return max_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+Timer::bucket(size_t i) const
+{
+    return i < kBuckets
+               ? buckets_[i].load(std::memory_order_relaxed)
+               : 0;
+}
+
+void
+Timer::reset()
+{
+    for (auto &s : counts_)
+        s.value.store(0, std::memory_order_relaxed);
+    for (auto &s : sums_)
+        s.value.store(0, std::memory_order_relaxed);
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry -------------------------------------------------------
+
+struct Registry::Impl
+{
+    mutable std::mutex mutex;
+    // std::map: stable addresses under insertion, name-sorted
+    // iteration for the renderers.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Timer>> timers;
+};
+
+Registry &
+Registry::instance()
+{
+    static Registry registry;
+    return registry;
+}
+
+Registry::Impl &
+Registry::impl() const
+{
+    // Leaked on purpose: worker threads may tick counters during
+    // static destruction (detached clients), so the maps must outlive
+    // every other static.
+    static Impl *impl = new Impl();
+    return *impl;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto &slot = i.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto &slot = i.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Timer &
+Registry::timer(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto &slot = i.timers[name];
+    if (!slot)
+        slot = std::make_unique<Timer>();
+    return *slot;
+}
+
+std::vector<MetricSample>
+Registry::snapshot() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    std::vector<MetricSample> out;
+    out.reserve(i.counters.size() + i.gauges.size() +
+                i.timers.size());
+    for (const auto &[name, c] : i.counters) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::kCounter;
+        s.value = static_cast<int64_t>(c->value());
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, g] : i.gauges) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::kGauge;
+        s.value = g->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, t] : i.timers) {
+        MetricSample s;
+        s.name = name;
+        s.kind = MetricSample::kTimer;
+        s.value = static_cast<int64_t>(t->count());
+        s.sumMicros = t->sumMicros();
+        s.minMicros = t->minMicros();
+        s.maxMicros = t->maxMicros();
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+Registry::json() const
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &s : snapshot()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(s.name) + "\":";
+        if (s.kind == MetricSample::kTimer) {
+            uint64_t count = static_cast<uint64_t>(s.value);
+            uint64_t mean = count ? s.sumMicros / count : 0;
+            out += "{\"count\":" + std::to_string(count) +
+                   ",\"sum_us\":" + std::to_string(s.sumMicros) +
+                   ",\"min_us\":" + std::to_string(s.minMicros) +
+                   ",\"max_us\":" + std::to_string(s.maxMicros) +
+                   ",\"mean_us\":" + std::to_string(mean) + "}";
+        } else {
+            out += std::to_string(s.value);
+        }
+    }
+    return out + "}";
+}
+
+std::string
+Registry::prometheus() const
+{
+    std::string out;
+    for (const auto &s : snapshot()) {
+        std::string name = "gpulitmus_" + s.name;
+        switch (s.kind) {
+          case MetricSample::kCounter:
+            out += "# TYPE " + name + " counter\n";
+            out += name + " " + std::to_string(s.value) + "\n";
+            break;
+          case MetricSample::kGauge:
+            out += "# TYPE " + name + " gauge\n";
+            out += name + " " + std::to_string(s.value) + "\n";
+            break;
+          case MetricSample::kTimer:
+            out += "# TYPE " + name + "_count counter\n";
+            out += name + "_count " + std::to_string(s.value) + "\n";
+            out += "# TYPE " + name + "_sum_us counter\n";
+            out += name + "_sum_us " +
+                   std::to_string(s.sumMicros) + "\n";
+            out += "# TYPE " + name + "_min_us gauge\n";
+            out += name + "_min_us " +
+                   std::to_string(s.minMicros) + "\n";
+            out += "# TYPE " + name + "_max_us gauge\n";
+            out += name + "_max_us " +
+                   std::to_string(s.maxMicros) + "\n";
+            break;
+        }
+    }
+    return out;
+}
+
+void
+Registry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    for (auto &[name, c] : i.counters)
+        c->reset();
+    for (auto &[name, g] : i.gauges)
+        g->reset();
+    for (auto &[name, t] : i.timers)
+        t->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    return Registry::instance().counter(name);
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    return Registry::instance().gauge(name);
+}
+
+Timer &
+timer(const std::string &name)
+{
+    return Registry::instance().timer(name);
+}
+
+} // namespace gpulitmus::obs

@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "common/strutil.h"
+#include "obs/metrics.h"
+
+namespace gpulitmus::obs {
+
+namespace {
+
+struct TraceEvent
+{
+    std::string name;
+    const char *cat;
+    uint64_t tid;
+    uint64_t ts;
+    uint64_t dur;
+};
+
+struct TraceState
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::chrono::steady_clock::time_point epoch;
+};
+
+std::atomic<bool> gActive{false};
+
+TraceState &
+state()
+{
+    // Leaked like the metric registry: spans may close during static
+    // destruction.
+    static TraceState *s = new TraceState();
+    return *s;
+}
+
+/** Small dense thread ids so the viewer's per-thread lanes are
+ * readable (raw pthread ids are 64-bit noise). */
+uint64_t
+traceTid()
+{
+    static std::atomic<uint64_t> next{1};
+    thread_local uint64_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+} // namespace
+
+void
+Trace::start()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+    s.epoch = std::chrono::steady_clock::now();
+    gActive.store(true, std::memory_order_release);
+}
+
+bool
+Trace::active()
+{
+    return gActive.load(std::memory_order_relaxed) && enabled();
+}
+
+void
+Trace::stop()
+{
+    gActive.store(false, std::memory_order_release);
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+}
+
+uint64_t
+Trace::now()
+{
+    TraceState &s = state();
+    auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - s.epoch)
+                  .count();
+    return us < 0 ? 0 : static_cast<uint64_t>(us);
+}
+
+void
+Trace::record(const std::string &name, const char *cat,
+              uint64_t tsMicros, uint64_t durMicros)
+{
+    if (!active())
+        return;
+    TraceState &s = state();
+    uint64_t tid = traceTid();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.push_back({name, cat, tid, tsMicros, durMicros});
+}
+
+std::string
+Trace::json()
+{
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &e : s.events) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"name\":\"" + jsonEscape(e.name) +
+               "\",\"cat\":\"" + e.cat +
+               "\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+               std::to_string(e.tid) +
+               ",\"ts\":" + std::to_string(e.ts) +
+               ",\"dur\":" + std::to_string(e.dur) + "}";
+    }
+    return out + "],\"displayTimeUnit\":\"ms\"}";
+}
+
+bool
+Trace::writeFile(const std::string &path, std::string *error)
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    out << json() << "\n";
+    if (!out) {
+        if (error)
+            *error = "write to '" + path + "' failed";
+        return false;
+    }
+    return true;
+}
+
+} // namespace gpulitmus::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Span tracing to Chrome trace-event JSON (Perfetto-loadable).
+ *
+ * A trace is a flat list of named scopes — "job mp@Titan c16",
+ * "explore ticket_lock", "request validate" — each with the thread
+ * that ran it and wall-clock start/duration. Collection is off until
+ * `Trace::start()` (the CLI's `--trace out.json` flag); off means a
+ * Span constructor is one relaxed load and no clock read, preserving
+ * the obs layer's zero-overhead-when-off contract (obs/metrics.h —
+ * GPULITMUS_OBS=0 also forces tracing off).
+ *
+ * Spans record at *scope* granularity (requests, jobs, explorations,
+ * store flushes), never per iteration or per replay, so a mutex on
+ * the event list is comfortably off any hot path. The serialised form
+ * is the Trace Event Format's "X" (complete) events — one JSON object
+ * per span with µs timestamps — which chrome://tracing and
+ * https://ui.perfetto.dev open directly (docs/OBSERVABILITY.md has
+ * the runbook; tools/check_obs.py validates the shape in CI).
+ */
+
+#ifndef GPULITMUS_OBS_TRACE_H
+#define GPULITMUS_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gpulitmus::obs {
+
+class Trace
+{
+  public:
+    /** Begin collecting spans (idempotent; clears prior events). */
+    static void start();
+
+    /** Collecting? (start() called, not stop(), and obs enabled) */
+    static bool active();
+
+    /** Stop and discard everything collected. */
+    static void stop();
+
+    /** Record one complete span. `ts`/`dur` in µs; `ts` is relative
+     * to start() (see now()). `cat` groups spans in the viewer:
+     * "engine", "mc", "serve", "cli". */
+    static void record(const std::string &name, const char *cat,
+                       uint64_t tsMicros, uint64_t durMicros);
+
+    /** µs since start() — the timestamp base every span uses. */
+    static uint64_t now();
+
+    /** The collected trace as one Chrome trace-event JSON document:
+     * {"traceEvents":[...],"displayTimeUnit":"ms"}. */
+    static std::string json();
+
+    /** Serialise to a file; false + `error` on I/O failure. */
+    static bool writeFile(const std::string &path,
+                          std::string *error = nullptr);
+};
+
+/** RAII span: names a scope on construction, records it on
+ * destruction. Inactive traces cost one branch. */
+class Span
+{
+  public:
+    explicit Span(std::string name, const char *cat = "app")
+    {
+        if (!Trace::active())
+            return;
+        live_ = true;
+        name_ = std::move(name);
+        cat_ = cat;
+        start_ = Trace::now();
+    }
+
+    ~Span()
+    {
+        if (live_)
+            Trace::record(name_, cat_, start_,
+                          Trace::now() - start_);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    bool live_ = false;
+    std::string name_;
+    const char *cat_ = "app";
+    uint64_t start_ = 0;
+};
+
+} // namespace gpulitmus::obs
+
+#endif // GPULITMUS_OBS_TRACE_H

@@ -23,7 +23,7 @@ jsonField(const std::string &key, const std::string &value)
 namespace {
 
 const std::vector<std::string> kCommands = {
-    "hello",   "list",    "stats",    "sweep",
+    "hello",    "list",    "stats",    "metrics",  "sweep",
     "validate", "explore", "scenario", "shutdown",
 };
 

@@ -49,9 +49,11 @@ struct TestSpec
 /** A parsed request line. Defaults mirror the batch CLI flags. */
 struct Request
 {
-    /** hello | list | stats | sweep | validate | explore | scenario |
-     * shutdown. "scenario" is explore with scenario-spec tests — the
-     * whole-application entry point. */
+    /** hello | list | stats | metrics | sweep | validate | explore |
+     * scenario | shutdown. "scenario" is explore with scenario-spec
+     * tests — the whole-application entry point; "metrics" returns
+     * the telemetry registry (obs/metrics.h) as JSON plus Prometheus
+     * text exposition. */
     std::string cmd;
     /** Client-chosen correlation id, echoed in every event. */
     std::string id;

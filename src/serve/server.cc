@@ -10,6 +10,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -18,6 +20,8 @@
 #include "common/strutil.h"
 #include "common/version.h"
 #include "litmus/library.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/registry.h"
 #include "sim/chip.h"
 
@@ -362,6 +366,7 @@ Server::replayJournal()
         engine_->run(plan.jobs);
         store_->flush();
         ::unlink(path.c_str());
+        obs::counter("serve_journal_replays_total").add();
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.replayedRequests;
     }
@@ -396,6 +401,15 @@ Server::run()
 void
 Server::acceptLoop()
 {
+    // The signal pipe is static (shared by every Server this process
+    // creates, because signal handlers need a fixed target). A
+    // previous server that exited its loop on the running_ flag alone
+    // — shutdown() raced with an accept — leaves its wake-up byte
+    // unread, and that stale byte would shut this server down on its
+    // first poll. Drain before looping; the pipe is non-blocking.
+    char stale[64];
+    while (::read(sSignalPipe[0], stale, sizeof stale) > 0) {
+    }
     while (running_.load()) {
         struct pollfd pfds[3];
         nfds_t n = 0;
@@ -448,6 +462,8 @@ void
 Server::handleClient(int fd)
 {
     Client client{fd};
+    obs::counter("serve_connections_total").add();
+    obs::gauge("serve_clients_connected").add(1);
     // Handshake first: the client learns the ABI generation before
     // submitting anything, so a stale client can bail out early.
     client.writeLine(eventHead("hello", "") +
@@ -467,6 +483,7 @@ Server::handleClient(int fd)
         handleRequest(client, line);
     }
     ::close(fd);
+    obs::gauge("serve_clients_connected").add(-1);
 }
 
 // ---- request handling -----------------------------------------------
@@ -485,6 +502,10 @@ Server::handleRequest(Client &client, const std::string &line)
         std::lock_guard<std::mutex> lock(statsMutex_);
         ++stats_.requests;
     }
+    obs::counter("serve_requests_total").add();
+    obs::TimerScope latency(
+        obs::timer("serve_request_latency_us"));
+    obs::Span span("request " + req->cmd, "serve");
 
     if (req->cmd == "hello") {
         client.writeLine(eventHead("hello", req->id) +
@@ -515,6 +536,20 @@ Server::handleRequest(Client &client, const std::string &line)
             ",\"store_misses\":" + std::to_string(ss.misses) +
             ",\"engine_cache_hits\":" +
             std::to_string(engine_->cacheHits()) + "}");
+        client.writeLine(eventHead("done", req->id) + "}");
+        return;
+    }
+    if (req->cmd == "metrics") {
+        // The whole telemetry registry, twice: structured for
+        // `status --watch`/scripts, Prometheus text exposition for
+        // scrapers (escaped into one JSON string; a scrape proxy
+        // unwraps it — docs/OBSERVABILITY.md has the recipe).
+        const auto &registry = obs::Registry::instance();
+        client.writeLine(
+            eventHead("metrics", req->id) +
+            ",\"enabled\":" + (obs::enabled() ? "true" : "false") +
+            ",\"metrics\":" + registry.json() + "," +
+            jsonField("prometheus", registry.prometheus()) + "}");
         client.writeLine(eventHead("done", req->id) + "}");
         return;
     }
@@ -560,15 +595,77 @@ Server::runJobsRequest(Client &client, const Request &req)
                      ",\"notes\":" + strArrayJson(plan.notes) + "}");
 
     eval::ConformanceSink conformance;
-    auto progress = [&client, &req](size_t done, size_t total,
-                                    const eval::EvalResult &r) {
+
+    // Progress at two granularities. Per-job events come from the
+    // engine's workers as jobs complete; wall-clock heartbeats come
+    // from a monitor thread so a *single* long job — an exploration
+    // burning 128k replays between completions — is visibly alive.
+    // The monitor samples the telemetry registry (the explorer ticks
+    // mc_replays_total per replay, mc/explorer.cc) and derives
+    // jobs/sec and an ETA; it only observes, so results are
+    // unchanged.
+    std::atomic<size_t> jobs_done{0};
+    auto progress = [&client, &req, &jobs_done](
+                        size_t done, size_t total,
+                        const eval::EvalResult &r) {
+        jobs_done.store(done);
         client.writeLine(eventHead("progress", req.id) +
                          ",\"done\":" + std::to_string(done) +
                          ",\"total\":" + std::to_string(total) +
                          "," + jsonField("label", r.label()) + "}");
     };
+
+    std::mutex hb_mutex;
+    std::condition_variable hb_cv;
+    bool hb_stop = false;
+    std::thread monitor([&]() {
+        const auto t0 = std::chrono::steady_clock::now();
+        uint64_t last_replays =
+            obs::counter("mc_replays_total").value();
+        std::unique_lock<std::mutex> lock(hb_mutex);
+        while (!hb_cv.wait_for(lock, std::chrono::seconds(2),
+                               [&] { return hb_stop; })) {
+            auto elapsed_ms =
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            size_t done = jobs_done.load();
+            uint64_t replays =
+                obs::counter("mc_replays_total").value();
+            double secs =
+                static_cast<double>(elapsed_ms) / 1000.0;
+            double rate = secs > 0.0
+                              ? static_cast<double>(done) / secs
+                              : 0.0;
+            std::string e = eventHead("progress", req.id);
+            e += ",\"heartbeat\":true";
+            e += ",\"done\":" + std::to_string(done);
+            e += ",\"total\":" +
+                 std::to_string(plan.jobs.size());
+            e += ",\"elapsed_ms\":" + std::to_string(elapsed_ms);
+            e += ",\"jobs_per_sec\":" + strprintf("%.3f", rate);
+            if (rate > 0.0 && plan.jobs.size() > done) {
+                double eta =
+                    static_cast<double>(plan.jobs.size() - done) /
+                    rate;
+                e += ",\"eta_sec\":" + strprintf("%.1f", eta);
+            }
+            e += ",\"mc_replays_delta\":" +
+                 std::to_string(replays - last_replays);
+            last_replays = replays;
+            client.writeLine(e + "}");
+        }
+    });
+
     auto results =
         engine_->run(plan.jobs, {&conformance}, progress);
+    {
+        std::lock_guard<std::mutex> lock(hb_mutex);
+        hb_stop = true;
+    }
+    hb_cv.notify_all();
+    monitor.join();
 
     uint64_t served = 0;
     for (const auto &r : results) {

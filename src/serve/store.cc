@@ -11,6 +11,7 @@
 
 #include "common/log.h"
 #include "common/version.h"
+#include "obs/metrics.h"
 
 namespace gpulitmus::serve {
 
@@ -570,9 +571,11 @@ ResultStore::lookup(const Digest128 &key)
     auto it = index_.find(key);
     if (it == index_.end()) {
         ++stats_.misses;
+        obs::counter("store_misses_total").add();
         return nullptr;
     }
     ++stats_.hits;
+    obs::counter("store_hits_total").add();
     return it->second;
 }
 
@@ -684,6 +687,7 @@ ResultStore::appendLocked(const Digest128 &key,
     }
     logBytes_ += bytes.size();
     ++stats_.appends;
+    obs::counter("store_appends_total").add();
     index_[key] = rec;
     if (opts_.maxBytes > 0 && logBytes_ > opts_.maxBytes)
         compactLocked();

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Telemetry-output validator for the observability CI job.
+
+Two sub-checks, selected by the first argument:
+
+``trace FILE``
+    FILE must be a Chrome trace-event JSON document as written by
+    ``gpulitmus <cmd> --trace FILE`` (obs/trace.h): a top-level object
+    with a ``traceEvents`` array of complete ("X") events, each
+    carrying name/cat/pid/tid/ts/dur with sane types and
+    non-negative timestamps. This is the same shape
+    https://ui.perfetto.dev and chrome://tracing load directly; a file
+    that passes here opens there. Requires at least one event —
+    a traced explore run always emits the explore span.
+
+``prometheus FILE``
+    FILE must be Prometheus text exposition (version 0.0.4) as
+    returned in the ``prometheus`` field of the serve ``metrics``
+    event: ``# TYPE`` headers naming only counter/gauge types,
+    sample lines of ``name value`` with gpulitmus_-prefixed metric
+    names, and a trailing newline. Requires at least one
+    ``gpulitmus_``-prefixed sample.
+
+Exits 0 when the file validates, 1 with a diagnostic per violation.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?:\{[^}]*\})? (?P<value>-?[0-9.eE+]+|NaN)$")
+
+
+def fail(errors):
+    for e in errors:
+        print(f"check_obs: {e}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path):
+    errors = []
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail([f"{path}: not readable JSON: {exc}"])
+
+    if not isinstance(doc, dict):
+        return fail([f"{path}: top level must be an object"])
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail([f"{path}: missing traceEvents array"])
+    if not events:
+        errors.append(f"{path}: traceEvents is empty — the traced "
+                      "command recorded no spans")
+
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "cat", "ph"):
+            if not isinstance(ev.get(key), str) or not ev.get(key):
+                errors.append(f"{where}: missing string '{key}'")
+        if ev.get("ph") != "X":
+            errors.append(f"{where}: ph must be 'X' (complete "
+                          f"event), got {ev.get('ph')!r}")
+        for key in ("pid", "tid", "ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, int) or v < 0:
+                errors.append(
+                    f"{where}: '{key}' must be a non-negative "
+                    f"integer, got {v!r}")
+
+    if errors:
+        return fail(errors)
+    print(f"check_obs: {path}: {len(events)} trace events OK")
+    return 0
+
+
+def check_prometheus(path):
+    errors = []
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        return fail([f"{path}: {exc}"])
+
+    if text and not text.endswith("\n"):
+        errors.append(f"{path}: exposition must end with a newline")
+
+    typed = {}
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in ("counter",
+                                                   "gauge"):
+                errors.append(f"{path}:{lineno}: malformed TYPE "
+                              f"line: {line!r}")
+                continue
+            if not METRIC_NAME.match(parts[2]):
+                errors.append(f"{path}:{lineno}: bad metric name "
+                              f"{parts[2]!r}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP or comment
+        m = SAMPLE.match(line)
+        if not m:
+            errors.append(f"{path}:{lineno}: unparseable sample "
+                          f"line: {line!r}")
+            continue
+        samples += 1
+        name = m.group("name")
+        # Timer series sample under their base TYPE'd name with a
+        # _count/_sum_us/_min_us/_max_us suffix; plain counters and
+        # gauges must match a TYPE header exactly.
+        base_ok = any(name == t or name.startswith(t + "_")
+                      for t in typed)
+        if not base_ok:
+            errors.append(f"{path}:{lineno}: sample {name!r} has "
+                          "no preceding # TYPE header")
+
+    prefixed = [t for t in typed if t.startswith("gpulitmus_")]
+    if not prefixed:
+        errors.append(f"{path}: no gpulitmus_-prefixed metrics — "
+                      "is telemetry disabled?")
+    if samples == 0:
+        errors.append(f"{path}: no sample lines")
+
+    if errors:
+        return fail(errors)
+    print(f"check_obs: {path}: {len(typed)} metrics, "
+          f"{samples} samples OK")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("trace", "prometheus"):
+        print("usage: check_obs.py trace|prometheus FILE",
+              file=sys.stderr)
+        return 2
+    if argv[1] == "trace":
+        return check_trace(argv[2])
+    return check_prometheus(argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -69,12 +69,21 @@
  *            [batch flags] [--json]      submit one request to a
  *                                        running daemon; exit status
  *                                        mirrors the batch command
- *   gpulitmus status --socket PATH|--port N
- *                                        daemon + store counters
+ *   gpulitmus status --socket PATH|--port N [--watch N] [--json]
+ *                                        daemon + store counters and
+ *                                        telemetry; --watch N polls
+ *                                        every N seconds and redraws,
+ *                                        --json emits the raw event
+ *                                        lines for scripting
  *
  * `sweep`, `validate` and `explore` also accept --store DIR to reuse
  * the daemon's durable result store without a daemon: the second run
  * of the same campaign answers from disk.
+ *
+ * Every command accepts `--trace FILE`: spans for the run (requests,
+ * jobs, explorations) are written as Chrome trace-event JSON, ready
+ * for https://ui.perfetto.dev (docs/OBSERVABILITY.md). GPULITMUS_OBS=0
+ * disables all telemetry; results are bit-identical either way.
  *
  * Exit status: 0 on success, 1 on usage/parse errors, 2 when a check
  * fails (optcheck violation, ~exists condition observed or
@@ -82,14 +91,17 @@
  */
 
 #include <csignal>
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cat/models.h"
@@ -102,6 +114,8 @@
 #include "litmus/parser.h"
 #include "model/baseline.h"
 #include "model/checker.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scenario/registry.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -887,6 +901,20 @@ cmdExplore(const Args &args)
                       << (x.satisfying.count(key) ? "  *" : "")
                       << "\n";
         }
+        // Bounded verdicts get their burn-down so they are
+        // diagnosable: which budget bit and how the search was shaped
+        // when it did (the budget comes from the job so store-served
+        // cells report it too — their advisory result fields are 0).
+        if (!x.complete && !x.fairComplete) {
+            uint64_t budget = r.job->iterations;
+            std::cout << "  bounded after " << x.stats.replays << "/"
+                      << budget << " replays ("
+                      << (budget ? x.stats.replays * 100 / budget : 0)
+                      << "%), " << x.stats.distinctStates
+                      << " states cached, deepest frontier "
+                      << x.stats.peakDepth << ", "
+                      << x.stats.resumes << " resumes\n";
+        }
         if (r.job->test.quantifier != litmus::Quantifier::NotExists)
             continue;
         if (!x.satisfying.empty()) {
@@ -1442,47 +1470,136 @@ cmdSubmit(const Args &args)
     return exit_code;
 }
 
-/** Daemon and store counters (`stats` request), one line of JSON. */
+/** One poll of the daemon: its `stats` and `metrics` events. */
+bool
+pollDaemon(serve::Client &client, const std::string &id,
+           json::Value *stats, std::string *stats_line,
+           json::Value *metrics, std::string *metrics_line,
+           std::string *error)
+{
+    serve::Request req;
+    req.id = id;
+    req.cmd = "stats";
+    int rc = client.submit(
+        req,
+        [&](const json::Value &event, const std::string &line) {
+            if (event.getString("event") == "stats") {
+                *stats = event;
+                *stats_line = line;
+            }
+        },
+        error);
+    if (rc != 0)
+        return false;
+    req.cmd = "metrics";
+    rc = client.submit(
+        req,
+        [&](const json::Value &event, const std::string &line) {
+            if (event.getString("event") == "metrics") {
+                *metrics = event;
+                *metrics_line = line;
+            }
+        },
+        error);
+    return rc == 0;
+}
+
+/** The --watch table: daemon/store counters and the engine/explorer
+ * telemetry that shows a long request is alive. */
+void
+printStatusTable(const json::Value &stats,
+                 const json::Value &metrics)
+{
+    auto metric = [&metrics](const char *name) -> int64_t {
+        const json::Value *m = metrics.find("metrics");
+        return m ? m->getInt(name, 0) : 0;
+    };
+    auto timerField = [&metrics](const char *name,
+                                 const char *field) -> int64_t {
+        const json::Value *m = metrics.find("metrics");
+        const json::Value *t = m ? m->find(name) : nullptr;
+        return t ? t->getInt(field, 0) : 0;
+    };
+
+    std::cout << "daemon:   " << stats.getInt("connections", 0)
+              << " connections ("
+              << metric("serve_clients_connected") << " live), "
+              << stats.getInt("requests", 0) << " requests, "
+              << stats.getInt("jobs", 0) << " jobs planned, "
+              << stats.getInt("replayed_requests", 0)
+              << " journal replays\n";
+    std::cout << "store:    " << stats.getInt("store_records", 0)
+              << " records, " << stats.getInt("store_hits", 0)
+              << " hits, " << stats.getInt("store_misses", 0)
+              << " misses, " << metric("store_appends_total")
+              << " appends\n";
+    std::cout << "engine:   " << metric("engine_jobs_total")
+              << " jobs (" << metric("engine_jobs_cached_total")
+              << " cache, " << metric("engine_jobs_from_store_total")
+              << " store), L1 hits "
+              << stats.getInt("engine_cache_hits", 0)
+              << ", mean latency "
+              << (timerField("engine_job_latency_us", "count")
+                      ? timerField("engine_job_latency_us",
+                                   "mean_us")
+                      : 0)
+              << " us\n";
+    std::cout << "explorer: " << metric("mc_explorations_total")
+              << " explorations (" << metric("mc_bounded_total")
+              << " bounded), " << metric("mc_replays_total")
+              << " replays, " << metric("mc_states_cached_total")
+              << " states, " << metric("mc_sleep_skips_total")
+              << " sleep skips, peak depth "
+              << metric("mc_last_peak_depth") << "\n";
+    std::cout.flush();
+}
+
+/** Daemon/store counters plus the telemetry registry (`stats` +
+ * `metrics` requests). --watch N polls and redraws; --json prints
+ * the raw event lines for scripting. */
 int
 cmdStatus(const Args &args)
 {
     auto client = connectFlag(args);
     if (!client)
         return 1;
-    serve::Request req;
-    req.cmd = "stats";
-    req.id = args.get("id", "cli");
-    std::string error;
-    int exit_code = client->submit(
-        req,
-        [](const json::Value &event, const std::string &line) {
-            if (event.getString("event") == "stats")
-                std::cout << line << "\n";
-        },
-        &error);
-    if (exit_code != 0) {
-        std::cerr << "error: "
-                  << (error.empty() ? "stats request failed" : error)
-                  << "\n";
-        return 1;
+    bool raw = args.has("json");
+    int watch = args.has("watch")
+                    ? static_cast<int>(args.getInt("watch", 2))
+                    : 0;
+    if (watch < 0)
+        watch = 0;
+
+    for (;;) {
+        json::Value stats, metrics;
+        std::string stats_line, metrics_line, error;
+        if (!pollDaemon(*client, args.get("id", "cli"), &stats,
+                        &stats_line, &metrics, &metrics_line,
+                        &error)) {
+            std::cerr << "error: "
+                      << (error.empty() ? "status request failed"
+                                        : error)
+                      << "\n";
+            return 1;
+        }
+        if (raw) {
+            std::cout << stats_line << "\n"
+                      << metrics_line << "\n";
+        } else {
+            if (watch > 0 && isatty(1))
+                std::cout << "\033[2J\033[H"; // clear + home
+            printStatusTable(stats, metrics);
+        }
+        if (watch <= 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::seconds(watch));
     }
     return 0;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+dispatch(const std::string &cmd, const Args &args)
 {
-    if (argc < 2) {
-        std::cerr
-            << "usage: gpulitmus"
-               " <run|sweep|check|validate|explore|list|show|sass|"
-               "generate|gen|chips|models|serve|submit|status> ...\n";
-        return 1;
-    }
-    std::string cmd = argv[1];
-    Args args = parseArgs(argc, argv, 2);
     if (cmd == "run")
         return cmdRun(args);
     if (cmd == "sweep")
@@ -1515,4 +1632,42 @@ main(int argc, char **argv)
         return cmdStatus(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr
+            << "usage: gpulitmus"
+               " <run|sweep|check|validate|explore|list|show|sass|"
+               "generate|gen|chips|models|serve|submit|status> ...\n";
+        return 1;
+    }
+    std::string cmd = argv[1];
+    Args args = parseArgs(argc, argv, 2);
+
+    // --trace FILE: collect spans for the whole invocation and write
+    // Chrome trace-event JSON on the way out (docs/OBSERVABILITY.md).
+    std::string trace_path;
+    if (args.has("trace")) {
+        trace_path = args.get("trace", "trace.json");
+        if (trace_path == "true") // bare --trace with no value
+            trace_path = "trace.json";
+        obs::Trace::start();
+    }
+
+    int exit_code = dispatch(cmd, args);
+
+    if (!trace_path.empty()) {
+        std::string error;
+        if (obs::Trace::writeFile(trace_path, &error))
+            std::cerr << "trace: wrote " << trace_path << " ("
+                      << "open in https://ui.perfetto.dev)\n";
+        else
+            std::cerr << "trace: " << error << "\n";
+    }
+    return exit_code;
 }
