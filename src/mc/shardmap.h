@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Sharded concurrent map for the committed state cache.
+ *
+ * During parallel exploration, subtree results are committed on the
+ * main thread in task-id order while workers keep exploring later
+ * subtrees optimistically. Workers consult this map read-only on
+ * their hot path; the commit thread is the only writer. Sharding by
+ * the high bits of the 128-bit state digest (16 shards, one mutex
+ * each) keeps reader/writer contention negligible — the mongodb
+ * sharded-latch idiom, scaled down to the two-role access pattern we
+ * actually have.
+ *
+ * Entries are *black* states only: fully explored, with the
+ * sleep-set-closed final-state weights memoised. Grey (on-stack)
+ * states never enter the shared map — each worker keeps those
+ * private, plus a read-only seed table for the spine prefix it
+ * replays through. lookup() copies the entry out under the shard
+ * lock, because the commit thread may rehash a shard at any moment
+ * and a borrowed pointer would dangle.
+ *
+ * insert() returns false on a duplicate key and leaves the existing
+ * entry in place. The explorer's commit protocol makes genuine
+ * duplicates structurally impossible (a subtree that re-derived a
+ * committed state is redone against the frozen map instead of
+ * committed), so callers assert on it; the return value exists so
+ * tests can exercise the collision path directly.
+ */
+
+#ifndef GPULITMUS_MC_SHARDMAP_H
+#define GPULITMUS_MC_SHARDMAP_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace gpulitmus::mc {
+
+template <typename Key, typename Hasher = std::hash<Key>>
+class ShardMap
+{
+  public:
+    struct Entry
+    {
+        /** Fetch-counter signature at the visit (spin-loop taint
+         * cross-check, same meaning as the private VisitEntry). */
+        uint64_t executedSig = 0;
+        /** Memoised final-state weights of the subtree below. */
+        std::vector<uint64_t> finals;
+    };
+
+    /** Copy the entry for `k` into `out`. Safe concurrently with
+     * insert(); the copy happens under the shard lock. */
+    bool
+    lookup(const Key &k, Entry &out) const
+    {
+        const Shard &sh = shards_[shardOf(k)];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.map.find(k);
+        if (it == sh.map.end())
+            return false;
+        out = it->second;
+        return true;
+    }
+
+    bool
+    contains(const Key &k) const
+    {
+        const Shard &sh = shards_[shardOf(k)];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        return sh.map.find(k) != sh.map.end();
+    }
+
+    /** Publish a black state. Returns false (and changes nothing) if
+     * the key is already present. */
+    bool
+    insert(const Key &k, uint64_t sig, std::vector<uint64_t> finals)
+    {
+        Shard &sh = shards_[shardOf(k)];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto [it, fresh] =
+            sh.map.try_emplace(k, Entry{sig, std::move(finals)});
+        (void)it;
+        if (fresh)
+            count_.fetch_add(1, std::memory_order_relaxed);
+        return fresh;
+    }
+
+    /** Entry count, coherent enough for budget accounting. */
+    size_t
+    size() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    static constexpr int kShardBits = 4;
+    static constexpr size_t kShards = size_t{1} << kShardBits;
+
+    static size_t
+    shardOf(const Key &k)
+    {
+        if constexpr (std::is_same_v<Key, Digest128>) {
+            return static_cast<size_t>(k.hi >> (64 - kShardBits));
+        } else {
+            size_t h = Hasher{}(k);
+            return h >> (sizeof(size_t) * 8 - kShardBits);
+        }
+    }
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<Key, Entry, Hasher> map;
+    };
+
+    Shard shards_[kShards];
+    std::atomic<size_t> count_{0};
+};
+
+using DigestShardMap = ShardMap<Digest128, Digest128::Hasher>;
+using StringShardMap = ShardMap<std::string>;
+
+} // namespace gpulitmus::mc
+
+#endif // GPULITMUS_MC_SHARDMAP_H

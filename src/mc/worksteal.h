@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Chase-Lev work-stealing deque for subtree tasks.
+ *
+ * The parallel explorer splits the frontier into a fixed set of
+ * subtree tasks at one branchy spine node, deals them round-robin
+ * into per-worker deques, and lets idle workers steal from their
+ * peers. The deque is the classic Chase-Lev shape (owner pushes and
+ * pops at the bottom, thieves take from the top), with the memory
+ * orderings of Lê et al., "Correct and Efficient Work-Stealing for
+ * Weak Memory Models" (PPoPP'13) — the same algorithm the repo ships
+ * as the `work_stealing_deque` *scenario*, now promoted from subject
+ * under test to infrastructure.
+ *
+ * Simplifications the explorer's usage pattern affords:
+ *
+ * - Fixed capacity. All tasks exist before any worker starts; nothing
+ *   is pushed once stealing begins, so the buffer is sized once (next
+ *   power of two ≥ task count) and never grows. push() past capacity
+ *   is a programming error and asserts.
+ * - Element type is a task id (uint32_t), stored in std::atomic slots
+ *   so the (theoretically) racing slot reads in steal() are data-race
+ *   free under ThreadSanitizer.
+ *
+ * Determinism note: *which* worker executes a task is scheduling
+ * noise and intentionally so — the explorer's commit protocol makes
+ * results independent of it. Steals are only observable through the
+ * mc_steals_total metric.
+ */
+
+#ifndef GPULITMUS_MC_WORKSTEAL_H
+#define GPULITMUS_MC_WORKSTEAL_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace gpulitmus::mc {
+
+class WorkStealDeque
+{
+  public:
+    enum class Steal { kOk, kEmpty, kLost };
+
+    explicit WorkStealDeque(size_t capacity)
+    {
+        size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_ = std::vector<std::atomic<uint32_t>>(cap);
+        mask_ = cap - 1;
+    }
+
+    /** Owner only. Not safe concurrently with steal(); the explorer
+     * pushes every task before the worker pool starts. */
+    void
+    push(uint32_t v)
+    {
+        int64_t b = bottom_.load(std::memory_order_relaxed);
+        int64_t t = top_.load(std::memory_order_acquire);
+        assert(b - t < static_cast<int64_t>(mask_ + 1) &&
+               "WorkStealDeque over capacity");
+        buf_[static_cast<size_t>(b) & mask_].store(
+            v, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    /** Owner only: take from the bottom (LIFO). */
+    bool
+    pop(uint32_t &out)
+    {
+        int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        int64_t t = top_.load(std::memory_order_relaxed);
+        if (t <= b) {
+            out = buf_[static_cast<size_t>(b) & mask_].load(
+                std::memory_order_relaxed);
+            if (t == b) {
+                // Last element: race the thieves for it.
+                if (!top_.compare_exchange_strong(
+                        t, t + 1, std::memory_order_seq_cst,
+                        std::memory_order_relaxed)) {
+                    bottom_.store(b + 1,
+                                  std::memory_order_relaxed);
+                    return false;
+                }
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+            return true;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /** Any thief: take from the top (FIFO — lowest task ids first,
+     * which keeps stolen work roughly in commit order). kLost means a
+     * concurrent pop/steal won the CAS; the caller may retry. */
+    Steal
+    steal(uint32_t &out)
+    {
+        int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return Steal::kEmpty;
+        uint32_t v = buf_[static_cast<size_t>(t) & mask_].load(
+            std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst,
+                std::memory_order_relaxed))
+            return Steal::kLost;
+        out = v;
+        return Steal::kOk;
+    }
+
+  private:
+    std::vector<std::atomic<uint32_t>> buf_;
+    size_t mask_ = 0;
+    alignas(64) std::atomic<int64_t> top_{0};
+    alignas(64) std::atomic<int64_t> bottom_{0};
+};
+
+} // namespace gpulitmus::mc
+
+#endif // GPULITMUS_MC_WORKSTEAL_H

@@ -47,14 +47,16 @@
  * - Snapshot/restore lifetime: snapshot() captures the complete
  *   mutable run state at the top of a scheduling step; resume()
  *   restores it and continues the main loop from that step. A
- *   Snapshot is a plain copyable value, but it is only meaningful for
- *   the Machine that produced it (same compiled program, same chip
- *   profile); restoring it into any other machine — or after
- *   setOptions() changed the incantations — is undefined. Snapshots
- *   do not outlive their machine semantically, only structurally:
- *   keep them as long as you like, but only feed them back to their
- *   source. snapshot(Snapshot&) reuses the target's storage, so a
- *   pooled snapshot is allocation-free after first use.
+ *   Snapshot is a plain copyable value, portable to any Machine
+ *   constructed from the same (chip, test, options) triple — the
+ *   compiled program and chip profile must match, but the consuming
+ *   machine need not be the producer. This is what lets the parallel
+ *   explorer hand subtree-root snapshots to worker threads that each
+ *   own a sibling machine. Restoring into a machine compiled from a
+ *   different test/chip — or after setOptions() changed the
+ *   incantations — is undefined. snapshot(Snapshot&) reuses the
+ *   target's storage, so a pooled snapshot is allocation-free after
+ *   first use.
  *
  * - State-key stability: encodeState() and hashState() emit the same
  *   canonical byte stream (hashState folds it into a 128-bit digest

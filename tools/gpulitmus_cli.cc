@@ -753,7 +753,8 @@ cmdExplore(const Args &args)
     if (args.positional.empty()) {
         std::cerr << "usage: gpulitmus explore <test...>"
                      " [--chips A,B|all] [--column 1..16]"
-                     " [--budget N] [--jobs N] [--models A,B|none]"
+                     " [--budget N] [--shards N] [--jobs N]"
+                     " [--models A,B|none]"
                      " [--json FILE] [--store DIR]\n";
         return 1;
     }
@@ -783,6 +784,16 @@ cmdExplore(const Args &args)
     cfg.inc = sim::Incantations::fromColumn(column);
     cfg.iterations =
         static_cast<uint64_t>(args.getInt("budget", 1 << 20));
+    // Parallel exploration width: --budget stays the *per-shard*
+    // replay budget, so `--shards 4` owns a 4x pool — the knob that
+    // upgrades "bounded" lock scenarios to proofs. --shards 1 (or
+    // GPULITMUS_MC_SHARDS unset) is the sequential explorer.
+    int shards = static_cast<int>(
+        args.getInt("shards", harness::defaultShards()));
+    if (shards < 1) {
+        std::cerr << "error: --shards must be >= 1\n";
+        return 1;
+    }
 
     harness::Campaign campaign;
     std::vector<std::string> skipped;
@@ -816,6 +827,7 @@ cmdExplore(const Args &args)
             harness::Job mc_job =
                 harness::Job::fromConfig(chip, *to_run, test_cfg);
             mc_job.backend = harness::kMcBackend;
+            mc_job.shards = shards;
             mc_job.label = test.name;
             campaign.add(mc_job);
             if (in_scope) {
@@ -852,7 +864,11 @@ cmdExplore(const Args &args)
         std::cout << " (" << out_of_scope
                   << " outside the model scope)";
     std::cout << ", " << chips.size() << " chips, budget "
-              << cfg.iterations << " replays/cell, column " << column
+              << cfg.iterations << " replays/cell"
+              << (shards > 1 ? " x " + std::to_string(shards) +
+                                   " shards"
+                             : std::string())
+              << ", column " << column
               << ", models "
               << (models.empty() ? std::string("none")
                                  : join(models, ","))
