@@ -1,0 +1,453 @@
+#include "analysis/race.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/strutil.h"
+
+namespace gpulitmus::analysis {
+
+std::string
+toString(PairClass c)
+{
+    switch (c) {
+      case PairClass::ProvenOrdered: return "proven-ordered";
+      case PairClass::PossiblyRacy: return "possibly-racy";
+      case PairClass::ProvenRacy: return "proven-racy";
+    }
+    return "?";
+}
+
+namespace {
+
+using PairKey = std::tuple<int, int, int, int>; // tidA, idxA, tidB, idxB
+
+PairKey
+keyOf(const MemEvent &a, const MemEvent &b)
+{
+    if (a.tid < b.tid)
+        return {a.tid, a.index, b.tid, b.index};
+    return {b.tid, b.index, a.tid, a.index};
+}
+
+struct PairData
+{
+    const MemEvent *a = nullptr;
+    const MemEvent *b = nullptr;
+    bool racy = false;
+    bool proven = false;
+    std::vector<std::string> reasons; ///< from the best witness cycle
+};
+
+/** One thread visit of a candidate cycle. */
+struct Visit
+{
+    int tid = 0;
+    int in = 0;  ///< entry event index (within ThreadSummary::events)
+    int out = 0; ///< exit event index
+    SegStatus st;
+};
+
+class Analyzer
+{
+  public:
+    explicit Analyzer(const litmus::Test &test)
+        : test_(test), sums_(summarise(test))
+    {}
+
+    Report run();
+
+  private:
+    const std::vector<MemEvent> &events(int tid) const
+    {
+        return sums_[tid].events();
+    }
+
+    bool conflicts(const MemEvent &a, const MemEvent &b) const;
+    void dfs(std::vector<Visit> &stack, std::vector<uint8_t> &used,
+             int t0);
+    void recordCycle(const std::vector<Visit> &stack);
+    std::string describeSeg(const Visit &v) const;
+
+    const litmus::Test &test_;
+    std::vector<ThreadSummary> sums_;
+    std::map<PairKey, PairData> pairs_;
+    long steps_ = 0;
+    bool budget_ = false;
+
+    static constexpr long kMaxSteps = 2000000;
+};
+
+bool
+Analyzer::conflicts(const MemEvent &a, const MemEvent &b) const
+{
+    if (a.tid == b.tid)
+        return false;
+    if (!a.writes() && !b.writes())
+        return false;
+    bool sameCta = test_.scopeTree.sameCta(a.tid, b.tid);
+    if (a.locUnknown || b.locUnknown) {
+        // Shared arrays are per-CTA, so a cross-CTA pair can only
+        // meet on a global location; a side provably confined to
+        // shared memory cannot communicate with another CTA.
+        if (!sameCta && (a.allShared || b.allShared))
+            return false;
+        return true;
+    }
+    for (const auto &la : a.locs) {
+        for (const auto &lb : b.locs) {
+            if (la != lb)
+                continue;
+            const auto *def = test_.findLocation(la);
+            if (!def)
+                continue;
+            if (def->space == litmus::MemSpace::Global || sameCta)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::string
+Analyzer::describeSeg(const Visit &v) const
+{
+    const MemEvent &a = events(v.tid)[v.in];
+    const MemEvent &b = events(v.tid)[v.out];
+    auto at = [](const MemEvent &e) {
+        std::string s = "'" + e.text + "'";
+        if (e.srcLine > 0)
+            s += " (line " + std::to_string(e.srcLine) + ")";
+        return s;
+    };
+    std::string t = "T" + std::to_string(v.tid) + ": ";
+    if (v.in == v.out) {
+        switch (v.st.reason) {
+          case SegReason::CoRR:
+            return t + "spin-loop reload of " + at(a) +
+                   " is unordered across iterations (coRR)";
+          case SegReason::StaleL1:
+            return t + "spin-loop reload of " + at(a) +
+                   " may be served a stale L1 line (.ca)";
+          default:
+            break;
+        }
+    }
+    switch (v.st.reason) {
+      case SegReason::MissingFence:
+        return t + "no fence orders " + at(a) + " before " + at(b);
+      case SegReason::UnderScopedFence: {
+        const ptx::Instruction &f =
+            test_.program.threads[v.tid].instrs[v.st.fenceIndex];
+        std::string fs = "'" + f.str() + "'";
+        if (f.srcLine > 0)
+            fs += " (line " + std::to_string(f.srcLine) + ")";
+        return t + fs + " between " + at(a) + " and " + at(b) +
+               " is under-scoped: T" + std::to_string(v.tid) +
+               " has no same-CTA testing peer, so membar.cta does"
+               " not drain its store buffer";
+      }
+      case SegReason::CoRR:
+        return t + "same-location loads " + at(a) + " and " + at(b) +
+               " may violate read-read coherence (coRR)";
+      case SegReason::StaleL1:
+        return t + at(b) + " is a .ca load and may be served a stale"
+                           " L1 line; no fence or dependency can"
+                           " order it after " +
+               at(a);
+      default:
+        return t + "unordered segment " + at(a) + " -> " + at(b);
+    }
+}
+
+void
+Analyzer::recordCycle(const std::vector<Visit> &stack)
+{
+    bool dangerous = false;
+    bool allKnown = true;
+    std::vector<std::string> reasons;
+    for (const auto &v : stack) {
+        const MemEvent &a = events(v.tid)[v.in];
+        const MemEvent &b = events(v.tid)[v.out];
+        if (!a.singleLoc() || !b.singleLoc())
+            allKnown = false;
+        if (!v.st.isProtected) {
+            dangerous = true;
+            reasons.push_back(describeSeg(v));
+        }
+    }
+    if (!dangerous)
+        return;
+    auto touch = [&](const MemEvent &x, const MemEvent &y) {
+        auto it = pairs_.find(keyOf(x, y));
+        if (it == pairs_.end())
+            return;
+        PairData &pd = it->second;
+        bool better = !pd.racy || (allKnown && !pd.proven);
+        pd.racy = true;
+        pd.proven = pd.proven || allKnown;
+        if (better)
+            pd.reasons = reasons;
+    };
+    for (size_t i = 0; i < stack.size(); ++i) {
+        const Visit &v = stack[i];
+        const Visit &w = stack[(i + 1) % stack.size()];
+        touch(events(v.tid)[v.out], events(w.tid)[w.in]);
+    }
+}
+
+void
+Analyzer::dfs(std::vector<Visit> &stack, std::vector<uint8_t> &used,
+              int t0)
+{
+    if (budget_)
+        return;
+    size_t depth = stack.size();
+    Visit cur = stack.back();
+    const auto &evs = events(cur.tid);
+    const ThreadSummary &sum = sums_[cur.tid];
+    const MemEvent &inE = evs[cur.in];
+    for (int outK = 0; outK < static_cast<int>(evs.size()); ++outK) {
+        if (++steps_ > kMaxSteps) {
+            budget_ = true;
+            return;
+        }
+        const MemEvent &outE = evs[outK];
+        SegStatus st;
+        if (cur.in == outK) {
+            // Same event entering and leaving the thread: trivially a
+            // single instance, or — when a loop re-executes it and
+            // the reload is unprotected — a dangerous self-segment.
+            st = SegStatus{true, SegReason::NoPath, -1};
+            if (sum.poPath(inE.index, inE.index)) {
+                SegStatus loop = sum.segment(inE, inE);
+                if (!loop.isProtected)
+                    st = loop;
+            }
+        } else {
+            st = sum.segment(inE, outE);
+            if (st.reason == SegReason::NoPath)
+                continue; // outE never executes after inE
+        }
+        stack[depth - 1].out = outK;
+        stack[depth - 1].st = st;
+        if (depth >= 2 &&
+            conflicts(outE, events(stack[0].tid)[stack[0].in]))
+            recordCycle(stack);
+        int nthreads = static_cast<int>(sums_.size());
+        for (int t = t0 + 1; t < nthreads; ++t) {
+            if (used[t])
+                continue;
+            const auto &tevs = events(t);
+            for (int inK = 0; inK < static_cast<int>(tevs.size());
+                 ++inK) {
+                if (!conflicts(outE, tevs[inK]))
+                    continue;
+                used[t] = 1;
+                stack.push_back(Visit{t, inK, inK, {}});
+                dfs(stack, used, t0);
+                stack.pop_back();
+                used[t] = 0;
+                if (budget_)
+                    return;
+            }
+        }
+    }
+}
+
+Report
+Analyzer::run()
+{
+    Report rep;
+    rep.testName = test_.name;
+
+    // Universe of conflicting cross-thread pairs.
+    int nthreads = static_cast<int>(sums_.size());
+    for (int t1 = 0; t1 < nthreads; ++t1) {
+        for (int t2 = t1 + 1; t2 < nthreads; ++t2) {
+            for (const auto &a : events(t1)) {
+                for (const auto &b : events(t2)) {
+                    if (!conflicts(a, b))
+                        continue;
+                    PairData pd;
+                    pd.a = &a;
+                    pd.b = &b;
+                    pairs_.emplace(keyOf(a, b), pd);
+                }
+            }
+        }
+    }
+    rep.pairsTotal = static_cast<int>(pairs_.size());
+
+    // Enumerate candidate critical cycles, canonically started at
+    // their lowest-numbered thread.
+    for (int t0 = 0; t0 < nthreads && !budget_; ++t0) {
+        const auto &evs = events(t0);
+        for (int inK = 0; inK < static_cast<int>(evs.size()); ++inK) {
+            std::vector<Visit> stack{Visit{t0, inK, inK, {}}};
+            std::vector<uint8_t> used(nthreads, 0);
+            used[t0] = 1;
+            dfs(stack, used, t0);
+            if (budget_)
+                break;
+        }
+    }
+
+    if (budget_) {
+        // Degrade conservatively: nothing unproven may be called
+        // ordered once enumeration is incomplete.
+        rep.budgetExceeded = true;
+        for (auto &[key, pd] : pairs_) {
+            if (!pd.racy) {
+                pd.racy = true;
+                pd.reasons = {"cycle enumeration budget exceeded;"
+                              " pair not proven ordered"};
+            }
+        }
+    }
+
+    auto ref = [&](const MemEvent &e) {
+        EventRef r;
+        r.tid = e.tid;
+        r.index = e.index;
+        r.instr = e.text;
+        r.locs = e.locs;
+        r.locUnknown = e.locUnknown;
+        r.srcLine = e.srcLine;
+        r.srcCol = e.srcCol;
+        return r;
+    };
+    for (const auto &[key, pd] : pairs_) {
+        if (!pd.racy) {
+            ++rep.pairsOrdered;
+            continue;
+        }
+        Finding f;
+        f.severity =
+            pd.proven ? PairClass::ProvenRacy : PairClass::PossiblyRacy;
+        if (pd.proven)
+            ++rep.pairsProven;
+        else
+            ++rep.pairsPossibly;
+        f.a = ref(*pd.a);
+        f.b = ref(*pd.b);
+        std::set<std::string> common;
+        for (const auto &la : pd.a->locs) {
+            for (const auto &lb : pd.b->locs) {
+                if (la == lb)
+                    common.insert(la);
+            }
+        }
+        f.locs.assign(common.begin(), common.end());
+        if (test_.scopeTree.sameWarp(pd.a->tid, pd.b->tid))
+            f.placement = "intra-warp";
+        else if (test_.scopeTree.sameCta(pd.a->tid, pd.b->tid))
+            f.placement = "intra-cta";
+        else
+            f.placement = "inter-cta";
+        f.reasons = pd.reasons;
+        rep.findings.push_back(std::move(f));
+    }
+    std::stable_sort(rep.findings.begin(), rep.findings.end(),
+                     [](const Finding &x, const Finding &y) {
+                         return static_cast<int>(x.severity) >
+                                static_cast<int>(y.severity);
+                     });
+    rep.fullyOrdered = !rep.budgetExceeded && rep.racyPairs() == 0;
+    return rep;
+}
+
+} // anonymous namespace
+
+std::string
+Report::str() const
+{
+    std::string out = "lint " + testName + ": ";
+    if (fullyOrdered) {
+        out += "fully ordered (" + std::to_string(pairsTotal) +
+               " conflicting pairs, all proven ordered)\n";
+        return out;
+    }
+    out += std::to_string(pairsProven) + " proven-racy, " +
+           std::to_string(pairsPossibly) + " possibly-racy, " +
+           std::to_string(pairsOrdered) + " proven-ordered of " +
+           std::to_string(pairsTotal) + " conflicting pairs";
+    if (budgetExceeded)
+        out += " (analysis budget exceeded)";
+    out += "\n";
+    for (const auto &f : findings) {
+        out += "  [" + toString(f.severity) + "] T" +
+               std::to_string(f.a.tid) + " '" + f.a.instr + "'";
+        if (f.a.srcLine > 0)
+            out += " (line " + std::to_string(f.a.srcLine) + ")";
+        out += "  vs  T" + std::to_string(f.b.tid) + " '" + f.b.instr +
+               "'";
+        if (f.b.srcLine > 0)
+            out += " (line " + std::to_string(f.b.srcLine) + ")";
+        if (!f.locs.empty()) {
+            out += "  on ";
+            for (size_t i = 0; i < f.locs.size(); ++i)
+                out += (i ? "," : "") + f.locs[i];
+        }
+        out += "  [" + f.placement + "]\n";
+        for (const auto &r : f.reasons)
+            out += "      " + r + "\n";
+    }
+    return out;
+}
+
+std::string
+Report::json() const
+{
+    using gpulitmus::jsonEscape;
+    std::string j = "{\"schema\":\"gpulitmus-lint-1\",";
+    j += "\"test\":\"" + jsonEscape(testName) + "\",";
+    j += std::string("\"fully_ordered\":") +
+         (fullyOrdered ? "true" : "false") + ",";
+    j += std::string("\"budget_exceeded\":") +
+         (budgetExceeded ? "true" : "false") + ",";
+    j += "\"pairs\":{\"total\":" + std::to_string(pairsTotal) +
+         ",\"proven_racy\":" + std::to_string(pairsProven) +
+         ",\"possibly_racy\":" + std::to_string(pairsPossibly) +
+         ",\"proven_ordered\":" + std::to_string(pairsOrdered) + "},";
+    j += "\"findings\":[";
+    auto evJson = [&](const EventRef &e) {
+        std::string s = "{\"thread\":" + std::to_string(e.tid) +
+                        ",\"index\":" + std::to_string(e.index) +
+                        ",\"instr\":\"" + jsonEscape(e.instr) + "\"";
+        if (e.srcLine > 0) {
+            s += ",\"line\":" + std::to_string(e.srcLine);
+            s += ",\"col\":" + std::to_string(e.srcCol);
+        }
+        s += "}";
+        return s;
+    };
+    for (size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        if (i)
+            j += ",";
+        j += "{\"severity\":\"" + toString(f.severity) + "\",";
+        j += "\"a\":" + evJson(f.a) + ",\"b\":" + evJson(f.b) + ",";
+        j += "\"locations\":[";
+        for (size_t k = 0; k < f.locs.size(); ++k)
+            j += (k ? "," : "") + ("\"" + jsonEscape(f.locs[k]) +
+                                   "\"");
+        j += "],\"placement\":\"" + f.placement + "\",";
+        j += "\"reasons\":[";
+        for (size_t k = 0; k < f.reasons.size(); ++k)
+            j += (k ? "," : "") +
+                 ("\"" + jsonEscape(f.reasons[k]) + "\"");
+        j += "]}";
+    }
+    j += "]}";
+    return j;
+}
+
+Report
+analyze(const litmus::Test &test)
+{
+    return Analyzer(test).run();
+}
+
+} // namespace gpulitmus::analysis

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The static race and fence analyzer: classifies every cross-thread
+ * conflicting pair of a litmus test as proven-racy, possibly-racy or
+ * proven-ordered, with concrete diagnostics.
+ *
+ * The criterion is Shasha/Snir-style robustness: a weak behaviour
+ * needs a critical cycle — alternating cross-thread conflict edges
+ * and in-thread program-order segments, visiting each thread at most
+ * once — in which at least one segment is unprotected (no adequate
+ * fence, scoreboard dependency or same-location coherence, see
+ * summary.h). A pair is racy exactly when its conflict edge lies on
+ * such a cycle; a program with no such cycle is "fully ordered" and
+ * can only produce sequentially consistent outcomes, which the
+ * explorer pre-pass (eval/backend.cc) and the differential gate in
+ * tests/test_analysis.cc rely on.
+ */
+
+#ifndef GPULITMUS_ANALYSIS_RACE_H
+#define GPULITMUS_ANALYSIS_RACE_H
+
+#include <string>
+#include <vector>
+
+#include "analysis/summary.h"
+#include "litmus/test.h"
+
+namespace gpulitmus::analysis {
+
+/** One side of a finding, with its source position. */
+struct EventRef
+{
+    int tid = 0;
+    int index = 0;
+    std::string instr;
+    std::vector<std::string> locs;
+    bool locUnknown = false;
+    int srcLine = 0;
+    int srcCol = 0;
+};
+
+/** Classification of one conflicting pair. */
+enum class PairClass { ProvenOrdered, PossiblyRacy, ProvenRacy };
+
+std::string toString(PairClass c);
+
+/** One racy pair plus the diagnostics of a witnessing cycle. */
+struct Finding
+{
+    PairClass severity = PairClass::PossiblyRacy;
+    EventRef a, b;
+    std::vector<std::string> locs; ///< common locations of the pair
+    std::string placement; ///< "intra-warp" / "intra-cta" / "inter-cta"
+    /** Why the witnessing cycle's unprotected segments are broken —
+     * the missing or under-scoped fence, coRR, or stale-L1 reads. */
+    std::vector<std::string> reasons;
+};
+
+/** Whole-test analysis result. */
+struct Report
+{
+    std::string testName;
+    std::vector<Finding> findings; ///< racy pairs, proven first
+    int pairsTotal = 0;
+    int pairsProven = 0;
+    int pairsPossibly = 0;
+    int pairsOrdered = 0;
+    /** No dangerous cycle at all: every reachable outcome is
+     * sequentially consistent. */
+    bool fullyOrdered = false;
+    /** Cycle enumeration hit its step budget; racy counts degraded
+     * conservatively and fullyOrdered is false. */
+    bool budgetExceeded = false;
+
+    int racyPairs() const { return pairsProven + pairsPossibly; }
+    bool anyProven() const { return pairsProven > 0; }
+
+    /** Human-readable report. */
+    std::string str() const;
+    /** Stable JSON rendering (schema "gpulitmus-lint-1"). */
+    std::string json() const;
+};
+
+/** Analyze a test. */
+Report analyze(const litmus::Test &test);
+
+} // namespace gpulitmus::analysis
+
+#endif // GPULITMUS_ANALYSIS_RACE_H

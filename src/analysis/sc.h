@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exhaustive sequentially-consistent enumeration of a litmus test:
+ * every interleaving of the threads' instructions, each executing
+ * atomically in program order against flat memory.
+ *
+ * This is the reference semantics the race analyzer's "fully ordered"
+ * verdict promises: if no conflicting pair can be reordered, the weak
+ * machine can only produce outcomes this enumerator also reaches. The
+ * explorer pre-pass (eval/backend.cc) substitutes this result for a
+ * full weak-memory exploration on fully-ordered programs, and
+ * tests/test_analysis.cc differentially validates the substitution.
+ */
+
+#ifndef GPULITMUS_ANALYSIS_SC_H
+#define GPULITMUS_ANALYSIS_SC_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "litmus/test.h"
+
+namespace gpulitmus::analysis {
+
+struct ScOptions
+{
+    /** Distinct-state budget; enumeration declines beyond it. */
+    uint64_t maxStates = 1u << 20;
+};
+
+/** The SC-reachable outcome set of a test. */
+struct ScResult
+{
+    /** Every interleaving terminates and was enumerated. False when
+     * a spin loop admits non-terminating schedules — the result then
+     * covers exactly the terminating executions, matching the
+     * explorer's fairComplete semantics. */
+    bool complete = false;
+    /** Outcome key (litmus::Histogram::keyFor) -> number of distinct
+     * terminal machine states rendering to it. */
+    std::map<std::string, uint64_t> finals;
+    /** Outcome keys whose final state satisfies the condition body. */
+    std::set<std::string> satisfying;
+    uint64_t states = 0; ///< distinct states visited
+};
+
+/**
+ * Enumerate the SC outcomes of a test by graph search over
+ * interpreter states. Returns std::nullopt when the state budget is
+ * exhausted (callers fall back to full exploration).
+ */
+std::optional<ScResult> enumerateSc(const litmus::Test &test,
+                                    ScOptions opts = {});
+
+} // namespace gpulitmus::analysis
+
+#endif // GPULITMUS_ANALYSIS_SC_H

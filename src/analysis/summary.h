@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-thread static summaries of litmus programs: memory events with
+ * statically resolved location sets, fences with their guards, a CFG
+ * with reachability, a may-value analysis for address resolution and
+ * a must-dependency analysis mirroring the simulator's scoreboard.
+ *
+ * These are the machine-derived facts the race analyzer (race.h)
+ * consumes. Every "ordered" claim here is justified by a concrete
+ * mechanism in sim::Machine (see docs/ANALYSIS.md for the soundness
+ * argument); everything the analysis cannot prove is left unordered.
+ */
+
+#ifndef GPULITMUS_ANALYSIS_SUMMARY_H
+#define GPULITMUS_ANALYSIS_SUMMARY_H
+
+#include <string>
+#include <vector>
+
+#include "litmus/test.h"
+
+namespace gpulitmus::analysis {
+
+/** Guard predicate of an instruction: register plus polarity. */
+struct Guard
+{
+    bool present = false;
+    bool negated = false;
+    std::string reg;
+
+    bool operator==(const Guard &other) const = default;
+};
+
+/** One statically summarised memory access. */
+struct MemEvent
+{
+    int tid = 0;
+    int index = 0; ///< instruction index within the thread
+
+    bool isLoad = false;
+    bool isStore = false;
+    bool isAtomic = false;
+    /** Load on the L1 path (.ca): may observe stale lines, so no
+     * fence or dependency can bound how early it reads. */
+    bool caLoad = false;
+
+    /** Possible target locations (may-set from the value analysis). */
+    std::vector<std::string> locs;
+    bool locUnknown = false; ///< address not statically resolved
+    bool allShared = false;  ///< every possible location is shared
+
+    Guard guard;
+    int srcLine = 0;
+    int srcCol = 0;
+    std::string text; ///< canonical instruction text for diagnostics
+
+    bool reads() const { return isLoad || isAtomic; }
+    bool writes() const { return isStore || isAtomic; }
+    bool singleLoc() const { return !locUnknown && locs.size() == 1; }
+};
+
+/** One fence, with the facts adequacy checks need. */
+struct FenceInfo
+{
+    int index = 0;
+    ptx::Scope scope = ptx::Scope::Gl;
+    Guard guard;
+    int srcLine = 0;
+    int srcCol = 0;
+};
+
+/** Why a program-order segment is, or is not, protected. */
+enum class SegReason {
+    NoPath,           ///< no control-flow path; segment cannot occur
+    Fenced,           ///< an adequate fence on every path
+    SameLocation,     ///< per-location coherence (not both plain loads)
+    Dependency,       ///< scoreboard address/data/guard dependency
+    MissingFence,     ///< unprotected: no fence at all on some path
+    UnderScopedFence, ///< unprotected: only inadequate fences
+    CoRR,             ///< unprotected: same-location load-load hazard
+    StaleL1,          ///< unprotected: younger .ca load may read stale
+};
+
+/** Protection verdict for one in-thread segment. */
+struct SegStatus
+{
+    bool isProtected = false;
+    SegReason reason = SegReason::MissingFence;
+    /** Index of a representative inadequate fence for the
+     * UnderScopedFence diagnostic; -1 otherwise. */
+    int fenceIndex = -1;
+};
+
+/**
+ * The static summary of one thread of a test: its memory events and
+ * fences, CFG reachability, and the protection query the cycle
+ * analysis is built on.
+ */
+class ThreadSummary
+{
+  public:
+    ThreadSummary(const litmus::Test &test, int tid);
+
+    int tid() const { return tid_; }
+    const std::vector<MemEvent> &events() const { return events_; }
+    const std::vector<FenceInfo> &fences() const { return fences_; }
+
+    /** Is there a CFG path of >= 1 step from instruction a to b? */
+    bool poPath(int a, int b) const;
+
+    /**
+     * Protection status of the program-order segment from event a to
+     * event b (a.index == b.index queries the loop segment through a
+     * back edge). Protected means the simulator cannot make b's
+     * memory effect observable before a's, on any chip.
+     */
+    SegStatus segment(const MemEvent &a, const MemEvent &b) const;
+
+  private:
+    bool depOrdered(int a, int b) const;
+    bool allPathsFenced(const MemEvent &a, const MemEvent &b,
+                        int *inadequateFence) const;
+    bool fenceAdequate(const FenceInfo &f, const MemEvent &a,
+                       const MemEvent &b) const;
+    bool guardOk(const FenceInfo &f, const MemEvent &a,
+                 const MemEvent &b) const;
+    bool regRedefinedBetween(const std::string &reg, int from,
+                             int to, bool checkFrom) const;
+
+    const litmus::Test *test_;
+    int tid_ = 0;
+    int n_ = 0; ///< instruction count
+    bool hasSameCtaPeer_ = false;
+    std::vector<MemEvent> events_;
+    std::vector<FenceInfo> fences_;
+    std::vector<std::vector<int>> succ_; ///< CFG successors
+    std::vector<std::vector<uint8_t>> reach_; ///< >=1-step reachability
+    /** Must-dependency closure: dep_[a][b] != 0 when instruction b's
+     * issue is transitively delayed past a's perform (a reads). */
+    std::vector<std::vector<uint8_t>> dep_;
+};
+
+/** Summaries for all threads of a test. */
+std::vector<ThreadSummary> summarise(const litmus::Test &test);
+
+} // namespace gpulitmus::analysis
+
+#endif // GPULITMUS_ANALYSIS_SUMMARY_H

@@ -52,7 +52,7 @@ struct Parser
 {
     std::string_view text;
     size_t pos = 0;
-    std::string error;
+    std::string error = {};
 
     bool
     fail(const std::string &message)

@@ -29,11 +29,14 @@
 
 namespace gpulitmus {
 
-/** Result-equivalence generation (see file header for bump rules). */
-inline constexpr int kAbiVersion = 1;
+/** Result-equivalence generation (see file header for bump rules).
+ * 2: the mc backend's static pre-pass (analysis/) answers
+ * fully-ordered programs from SC enumeration, changing the stored
+ * search statistics and path weights for those jobs. */
+inline constexpr int kAbiVersion = 2;
 
 /** The stamp as written into store headers, handshakes and JSON. */
-inline constexpr const char *kAbiVersionString = "gpulitmus-abi-1";
+inline constexpr const char *kAbiVersionString = "gpulitmus-abi-2";
 
 } // namespace gpulitmus
 

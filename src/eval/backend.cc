@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/race.h"
+#include "analysis/sc.h"
 #include "cat/models.h"
 #include "common/log.h"
 #include "common/strutil.h"
@@ -74,6 +76,48 @@ McBackend::evaluate(const EvalJob &job) const
     EvalResult result;
     result.job = owned;
     result.backend = name();
+
+    // Static pre-pass (docs/ANALYSIS.md): a program with no racy pair
+    // can only reach sequentially consistent outcomes, so the SC
+    // enumeration IS the exact reachable set — no weak-memory
+    // exploration needed. The substitution is differentially
+    // validated in tests/test_analysis.cc over the corpus, all
+    // scenario variants and generated programs.
+    // GPULITMUS_MC_NO_PREPASS=1 forces full exploration (and, like
+    // the forensic knobs above, is excluded from job cache keys
+    // because the reachable set and verdict are identical — only
+    // search statistics and path weights differ).
+    auto envSet = [](const char *name) {
+        const char *v = std::getenv(name);
+        return v && *v && *v != '0';
+    };
+    if (!envSet("GPULITMUS_MC_NO_PREPASS")) {
+        analysis::Report rep = analysis::analyze(owned->test);
+        if (rep.fullyOrdered) {
+            auto start = std::chrono::steady_clock::now();
+            if (auto sc = analysis::enumerateSc(owned->test)) {
+                mc::ExploreResult x;
+                x.testName = owned->test.name;
+                x.chipName = owned->chip.shortName;
+                x.column = owned->inc.column();
+                x.complete = sc->complete;
+                x.fairComplete = true;
+                x.finals = std::move(sc->finals);
+                x.satisfying = std::move(sc->satisfying);
+                for (const auto &[key, w] : x.finals)
+                    x.paths += w;
+                x.stats.distinctStates = sc->states;
+                x.budgetReplays = owned->iterations;
+                auto end = std::chrono::steady_clock::now();
+                x.millis = std::chrono::duration<double, std::milli>(
+                               end - start)
+                               .count();
+                result.exact = std::move(x);
+                result.millis = result.exact->millis;
+                return result;
+            }
+        }
+    }
 
     mc::Explorer explorer(owned->chip, owned->test,
                           optionsFor(*owned));

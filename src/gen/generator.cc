@@ -4,6 +4,7 @@
 #include <functional>
 #include <set>
 
+#include "analysis/race.h"
 #include "common/log.h"
 #include "common/strutil.h"
 
@@ -473,6 +474,21 @@ generate(const std::vector<Edge> &pool, const GeneratorOptions &opts)
         cycle.pop_back();
         if (out.size() >= opts.maxTests)
             break;
+    }
+
+    if (opts.steer) {
+        for (auto &g : out)
+            g.predictedRacyPairs =
+                static_cast<int>(analysis::analyze(g.test)
+                                     .racyPairs());
+        // Stable: ties keep enumeration order, so steered output is
+        // still deterministic.
+        std::stable_sort(out.begin(), out.end(),
+                         [](const GeneratedTest &a,
+                            const GeneratedTest &b) {
+                             return a.predictedRacyPairs >
+                                    b.predictedRacyPairs;
+                         });
     }
     return out;
 }

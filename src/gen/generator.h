@@ -85,6 +85,15 @@ struct GeneratorOptions
     int maxThreads = 4;
     /** Cap on locations per test. */
     int maxLocations = 4;
+    /**
+     * Steer fuzzing toward weak behaviour: score each candidate with
+     * the static race analyzer (analysis/race.h) and order the
+     * output by descending predicted-racy-pair count, so downstream
+     * exploration spends its budget on programs that can actually
+     * exhibit reorderings. Off by default: unsteered output order is
+     * pinned by tests.
+     */
+    bool steer = false;
 };
 
 /** A generated test with its defining cycle. */
@@ -92,6 +101,9 @@ struct GeneratedTest
 {
     std::string cycleName;
     litmus::Test test;
+    /** Racy-pair count predicted by the static analyzer; -1 when
+     * steering was off and the test is unscored. */
+    int predictedRacyPairs = -1;
 };
 
 /**

@@ -275,11 +275,15 @@ parseTest(const std::string &text, ParseError *error)
     auto headers = split(stripRow(*line), '|');
     int nthreads = static_cast<int>(headers.size());
     std::vector<std::string> bodies(nthreads);
+    // File line of each accumulated body row, per thread, so thread
+    // parse errors and analysis findings can cite file:line.
+    std::vector<std::vector<int>> bodyLines(nthreads);
 
     for (;;) {
         line = nextLine();
         if (!line)
             break;
+        int rowLine = static_cast<int>(li);
         // Non-program trailer lines terminate the table.
         if (startsWith(*line, "ScopeTree") ||
             startsWith(*line, "exists") ||
@@ -295,18 +299,23 @@ parseTest(const std::string &text, ParseError *error)
         for (int t = 0;
              t < nthreads && t < static_cast<int>(cells.size()); ++t) {
             std::string cell = trim(cells[t]);
-            if (!cell.empty())
+            if (!cell.empty()) {
                 bodies[t] += cell + "\n";
+                bodyLines[t].push_back(rowLine);
+            }
         }
     }
 
     for (int t = 0; t < nthreads; ++t) {
         ptx::ParseError perr;
-        auto prog = ptx::parseThread(bodies[t], &perr);
+        auto prog = ptx::parseThread(bodies[t], &perr, &bodyLines[t]);
         if (!prog) {
-            if (error)
+            if (error) {
                 error->message = "T" + std::to_string(t) + ": " +
                                  perr.message;
+                error->line = perr.line;
+                error->col = perr.col;
+            }
             return std::nullopt;
         }
         test.program.threads.push_back(std::move(*prog));

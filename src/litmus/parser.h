@@ -26,7 +26,8 @@ namespace gpulitmus::litmus {
 struct ParseError
 {
     std::string message;
-    int line = 0;
+    int line = 0; ///< 1-based source line of the failure, 0 if unknown
+    int col = 0;  ///< 1-based source column, 0 if unknown
 };
 
 /** Parse a whole litmus file. */

@@ -61,6 +61,7 @@ class WorkStealDeque
         int64_t t = top_.load(std::memory_order_acquire);
         assert(b - t < static_cast<int64_t>(mask_ + 1) &&
                "WorkStealDeque over capacity");
+        (void)t; // only read by the assert in release builds
         buf_[static_cast<size_t>(b) & mask_].store(
             v, std::memory_order_relaxed);
         bottom_.store(b + 1, std::memory_order_release);

@@ -107,6 +107,19 @@ Instruction::regWritten() const
     return dst;
 }
 
+bool
+Instruction::operator==(const Instruction &other) const
+{
+    return op == other.op && type == other.type &&
+           cacheOp == other.cacheOp && scope == other.scope &&
+           space == other.space && isVolatile == other.isVolatile &&
+           hasGuard == other.hasGuard &&
+           guardNegated == other.guardNegated &&
+           guardReg == other.guardReg && dst == other.dst &&
+           addr == other.addr && srcs == other.srcs &&
+           target == other.target;
+}
+
 std::string
 Instruction::str() const
 {

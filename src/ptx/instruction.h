@@ -65,6 +65,15 @@ struct Instruction
     std::vector<Operand> srcs; ///< value operands
     std::string target;     ///< branch target label for bra
 
+    /**
+     * 1-based source position in the file the instruction was parsed
+     * from; 0 when built programmatically. Not part of the
+     * instruction's identity: operator== ignores both fields, so a
+     * built program still compares equal to its parsed round trip.
+     */
+    int srcLine = 0;
+    int srcCol = 0;
+
     /** True for ld / st / atom.* (instructions that touch memory). */
     bool isMemAccess() const;
     /** True for atom.* (read-modify-write). */
@@ -84,7 +93,8 @@ struct Instruction
     /** Canonical text, e.g. "@!p0 ld.cg.s32 r1,[x]". */
     std::string str() const;
 
-    bool operator==(const Instruction &other) const = default;
+    /** Semantic equality; srcLine/srcCol are deliberately excluded. */
+    bool operator==(const Instruction &other) const;
 };
 
 /** Convenience constructors for the instruction forms the paper uses. */

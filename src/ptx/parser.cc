@@ -214,10 +214,8 @@ splitOperands(const std::string &text)
     return out;
 }
 
-} // anonymous namespace
-
 std::optional<Instruction>
-parseInstruction(const std::string &text, ParseError *error)
+parseInstructionInner(const std::string &text, ParseError *error)
 {
     std::string line = trim(text);
     if (line.empty()) {
@@ -372,44 +370,83 @@ parseInstruction(const std::string &text, ParseError *error)
     return instr;
 }
 
+} // anonymous namespace
+
+std::optional<Instruction>
+parseInstruction(const std::string &text, ParseError *error,
+                 int srcLine, int srcCol)
+{
+    auto instr = parseInstructionInner(text, error);
+    if (!instr) {
+        if (error) {
+            error->line = srcLine;
+            error->col = srcCol;
+        }
+        return std::nullopt;
+    }
+    instr->srcLine = srcLine;
+    instr->srcCol = srcCol;
+    return instr;
+}
+
 std::optional<ThreadProgram>
-parseThread(const std::string &text, ParseError *error)
+parseThread(const std::string &text, ParseError *error,
+            const std::vector<int> *lineMap, int baseLine)
 {
     ThreadProgram prog;
-    std::string normalized = text;
-    for (auto &c : normalized) {
-        if (c == ';')
-            c = '\n';
-    }
-    for (auto &raw : split(normalized, '\n')) {
-        std::string line = trim(raw);
-        // Strip comments.
-        auto comment = line.find("//");
+    auto rawLines = split(text, '\n');
+    for (size_t ln = 0; ln < rawLines.size(); ++ln) {
+        int fileLine =
+            lineMap ? (ln < lineMap->size()
+                           ? (*lineMap)[ln]
+                           : 0)
+                    : baseLine + static_cast<int>(ln);
+        // Strip comments before splitting on ';': a "//" comments out
+        // the rest of the physical line, including later statements.
+        std::string lineText = rawLines[ln];
+        auto comment = lineText.find("//");
         if (comment != std::string::npos)
-            line = trim(line.substr(0, comment));
-        if (line.empty())
-            continue;
-        // Leading label "name:".
-        auto colon = line.find(':');
-        if (colon != std::string::npos) {
-            std::string head = trim(line.substr(0, colon));
-            bool plausible = !head.empty();
-            for (char c : head) {
-                if (!std::isalnum(static_cast<unsigned char>(c)) &&
-                    c != '_')
-                    plausible = false;
+            lineText = lineText.substr(0, comment);
+        // Walk ';'-separated statements, tracking column offsets.
+        size_t pos = 0;
+        while (pos <= lineText.size()) {
+            size_t semi = lineText.find(';', pos);
+            size_t end =
+                semi == std::string::npos ? lineText.size() : semi;
+            std::string stmt = lineText.substr(pos, end - pos);
+            size_t stmtStart = pos;
+            pos = end + 1;
+            size_t lead = stmt.find_first_not_of(" \t");
+            if (lead == std::string::npos)
+                continue;
+            int col = static_cast<int>(stmtStart + lead) + 1;
+            std::string line = trim(stmt);
+            // Leading label "name:".
+            auto colon = line.find(':');
+            if (colon != std::string::npos) {
+                std::string head = trim(line.substr(0, colon));
+                bool plausible = !head.empty();
+                for (char c : head) {
+                    if (!std::isalnum(
+                            static_cast<unsigned char>(c)) &&
+                        c != '_')
+                        plausible = false;
+                }
+                if (plausible) {
+                    prog.label(head);
+                    std::string after = line.substr(colon + 1);
+                    size_t alead = after.find_first_not_of(" \t");
+                    line = trim(after);
+                    if (line.empty())
+                        continue;
+                    col += static_cast<int>(colon + 1 + alead);
+                }
             }
-            if (plausible) {
-                prog.label(head);
-                line = trim(line.substr(colon + 1));
-                if (line.empty())
-                    continue;
-            }
+            auto instr = parseInstruction(line, error, fileLine, col);
+            if (!instr)
+                return std::nullopt;
+            prog.append(std::move(*instr));
         }
-        auto instr = parseInstruction(line, error);
-        if (!instr)
-            return std::nullopt;
-        prog.append(std::move(*instr));
     }
     return prog;
 }

@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ptx/program.h"
 
@@ -22,22 +23,33 @@ namespace gpulitmus::ptx {
 struct ParseError
 {
     std::string message;
+    int line = 0; ///< 1-based source line of the failure, 0 if unknown
+    int col = 0;  ///< 1-based source column, 0 if unknown
 };
 
 /**
  * Parse one instruction from text. Returns std::nullopt and fills
- * *error (when non-null) on failure.
+ * *error (when non-null) on failure. srcLine/srcCol, when non-zero,
+ * are recorded on the parsed instruction and on any error.
  */
 std::optional<Instruction> parseInstruction(const std::string &text,
-                                            ParseError *error = nullptr);
+                                            ParseError *error = nullptr,
+                                            int srcLine = 0,
+                                            int srcCol = 0);
 
 /**
  * Parse a newline- or semicolon-separated instruction sequence into a
  * thread program, handling labels. Calls fatal() on malformed input
  * unless error is non-null.
+ *
+ * Parsed instructions carry 1-based srcLine/srcCol positions within
+ * `text`. When `lineMap` is given, local line index i is translated
+ * to (*lineMap)[i] instead (the litmus parser passes the file line of
+ * each program-table row); otherwise lines count from `baseLine`.
  */
-std::optional<ThreadProgram> parseThread(const std::string &text,
-                                         ParseError *error = nullptr);
+std::optional<ThreadProgram>
+parseThread(const std::string &text, ParseError *error = nullptr,
+            const std::vector<int> *lineMap = nullptr, int baseLine = 1);
 
 } // namespace gpulitmus::ptx
 

@@ -121,9 +121,9 @@ writeAll(int fd, std::string_view bytes)
 
 struct Server::Client
 {
-    int fd;
-    std::string inbuf;
-    std::mutex writeMutex;
+    int fd = -1;
+    std::string inbuf = {};
+    std::mutex writeMutex = {};
 
     /** Write one event line; serialised because progress events come
      * from engine worker threads while the handler owns the socket. */

@@ -234,8 +234,9 @@ TEST(Enumerate, InitFirstInCo)
         for (const auto &e : ex.events) {
             if (e.isInit()) {
                 for (const auto &w : ex.events) {
-                    if (w.isWrite() && !w.isInit() && w.loc == e.loc)
+                    if (w.isWrite() && !w.isInit() && w.loc == e.loc) {
                         EXPECT_TRUE(ex.co.get(e.id, w.id));
+                    }
                 }
             }
         }
@@ -252,8 +253,9 @@ TEST(Enumerate, FrDerivation)
             if (!r.isRead() || r.loc != "x" || r.value != 0)
                 continue;
             for (const auto &w : ex.events) {
-                if (w.isWrite() && !w.isInit() && w.loc == "x")
+                if (w.isWrite() && !w.isInit() && w.loc == "x") {
                     EXPECT_TRUE(fr.get(r.id, w.id));
+                }
             }
         }
     }
@@ -362,8 +364,9 @@ TEST(Enumerate, ScopeRelationsFollowScopeTree)
     const auto &ex2 = execs_intra[0];
     for (const auto &a : ex2.events) {
         for (const auto &b : ex2.events) {
-            if (a.tid == 0 && b.tid == 1)
+            if (a.tid == 0 && b.tid == 1) {
                 EXPECT_TRUE(ex2.scopeCta.get(a.id, b.id));
+            }
         }
     }
 }

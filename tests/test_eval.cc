@@ -332,8 +332,9 @@ TEST(Conformance, FlagsTheSec6BaselineAsUnsound)
     for (const auto &cell : conformance.cells()) {
         if (cell.model == "baseline")
             baseline_unsound |= cell.kind == Conformance::Unsound;
-        if (cell.model == "ptx")
+        if (cell.model == "ptx") {
             EXPECT_NE(cell.kind, Conformance::Unsound);
+        }
     }
     EXPECT_TRUE(baseline_unsound);
     EXPECT_GE(conformance.unsoundCells(), 1u);

@@ -10,6 +10,7 @@
 #include "litmus/library.h"
 #include "litmus/outcome.h"
 #include "litmus/parser.h"
+#include "scenario/registry.h"
 
 namespace gpulitmus::litmus {
 namespace {
@@ -159,6 +160,80 @@ TEST(ScopeTree, RejectsBadInput)
     EXPECT_FALSE(ScopeTree::parse("grid(warp T0)")); // warp outside cta
     EXPECT_FALSE(ScopeTree::parse("grid(cta(warp T0) (warp T2))"));
     EXPECT_FALSE(ScopeTree::parse(""));
+}
+
+TEST(ScopeTree, SingleThreadDegenerateTree)
+{
+    // The one-thread tree: every relation is reflexive-only and there
+    // is exactly one CTA — the shape the analyzer sees for
+    // single-thread programs (no cross-thread pair can exist).
+    for (ScopeTree t : {ScopeTree::intraWarp(1), ScopeTree::intraCta(1),
+                        ScopeTree::interCta(1)}) {
+        EXPECT_EQ(t.numThreads(), 1);
+        EXPECT_EQ(t.numCtas(), 1);
+        EXPECT_TRUE(t.sameCta(0, 0));
+        EXPECT_TRUE(t.sameWarp(0, 0));
+        auto parsed = ScopeTree::parse(t.str());
+        ASSERT_TRUE(parsed.has_value()) << t.str();
+        EXPECT_EQ(*parsed, t);
+    }
+}
+
+TEST(ScopeTree, AllThreadsInOneWarp)
+{
+    // Four threads packed into one warp of one CTA: sameWarp (and so
+    // sameCta) holds for every pair, and a membar.cta always has a
+    // same-CTA peer to act on.
+    ScopeTree t = ScopeTree::intraWarp(4);
+    EXPECT_EQ(t.numThreads(), 4);
+    EXPECT_EQ(t.numCtas(), 1);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            EXPECT_TRUE(t.sameWarp(i, j)) << i << "," << j;
+            EXPECT_TRUE(t.sameCta(i, j)) << i << "," << j;
+            EXPECT_EQ(t.placement(i).warp, t.placement(j).warp);
+        }
+    }
+    auto parsed = ScopeTree::parse(t.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+}
+
+TEST(ScopeTree, ScenarioBuildersPlaceThreadsInterCta)
+{
+    // The registry scenarios model inter-GPU-block interaction: every
+    // scenario variant must place at least two testing threads in
+    // different CTAs, and numCtas() must agree with the maximum CTA
+    // index in the placements (the machine sizes its per-CTA shared
+    // memories and L1s from it).
+    for (const auto &s : scenario::all()) {
+        std::string error;
+        auto built =
+            scenario::buildSpec("scenario:" + s.name, &error);
+        ASSERT_TRUE(built.has_value()) << s.name << ": " << error;
+        const ScopeTree &tree = built->test.scopeTree;
+        ASSERT_GE(tree.numThreads(), 2) << s.name;
+        bool crossCta = false;
+        int maxCta = 0;
+        for (int i = 0; i < tree.numThreads(); ++i) {
+            maxCta = std::max(maxCta, tree.placement(i).cta);
+            for (int j = i + 1; j < tree.numThreads(); ++j) {
+                if (!tree.sameCta(i, j))
+                    crossCta = true;
+                // sameWarp refines sameCta in a well-formed tree.
+                if (tree.sameWarp(i, j)) {
+                    EXPECT_TRUE(tree.sameCta(i, j))
+                        << s.name << " T" << i << "/T" << j;
+                }
+            }
+        }
+        EXPECT_TRUE(crossCta) << s.name;
+        EXPECT_EQ(tree.numCtas(), maxCta + 1) << s.name;
+        // The tree round-trips through the paper's concrete syntax.
+        auto parsed = ScopeTree::parse(tree.str());
+        ASSERT_TRUE(parsed.has_value()) << s.name;
+        EXPECT_EQ(*parsed, tree) << s.name;
+    }
 }
 
 TEST(TestBuilder, BuildsMp)
@@ -330,13 +405,15 @@ TEST(PaperLibrary, MpL1UsesCaLoadsAndCgStores)
 {
     litmus::Test t = paperlib::mpL1(ptx::Scope::Gl);
     for (const auto &i : t.program.threads[0].instrs) {
-        if (i.op == ptx::Opcode::St)
+        if (i.op == ptx::Opcode::St) {
             EXPECT_EQ(i.cacheOp, ptx::CacheOp::Cg);
+        }
     }
     int fences = 0;
     for (const auto &i : t.program.threads[1].instrs) {
-        if (i.op == ptx::Opcode::Ld)
+        if (i.op == ptx::Opcode::Ld) {
             EXPECT_EQ(i.cacheOp, ptx::CacheOp::Ca);
+        }
         fences += i.isFence();
     }
     EXPECT_EQ(fences, 1);

@@ -209,10 +209,11 @@ TEST(Explorer, SamplerNeverEscapesTheExactSet)
         litmus::Histogram hist =
             harness::run(sim::chip("Titan"), test, cfg);
         for (const auto &[key, count] : hist.counts()) {
-            if (count > 0)
+            if (count > 0) {
                 EXPECT_TRUE(r.reachable(key))
                     << file << ": sampled '" << key
                     << "' escaped the exploration";
+            }
         }
     }
 }
@@ -242,8 +243,9 @@ TEST(Explorer, PruningIsInvisibleInTheReachableSet)
                 EXPECT_EQ(keys, base) << file << " mode " << mode;
             }
             // Full pruning must not exceed the unpruned effort.
-            if (mode == 3)
+            if (mode == 3) {
                 EXPECT_LE(r.stats.replays, base_replays) << file;
+            }
         }
     }
 }
@@ -649,8 +651,9 @@ TEST(Conformance, ExactSetAgreesWithPtxOnCorpusSample)
     }
     auto results = engine.run(jobs, {&sink});
     for (const auto &r : results) {
-        if (r.hasExact())
+        if (r.hasExact()) {
             EXPECT_TRUE(r.exact->complete) << r.label();
+        }
     }
     EXPECT_EQ(sink.cells().size(), 10u);
     EXPECT_EQ(sink.unsoundCells(), 0u);

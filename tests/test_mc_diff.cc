@@ -249,10 +249,11 @@ TEST(ShardDiff, CorpusSampledOutcomesSubsetOfExact)
             litmus::Histogram hist =
                 harness::run(sim::chip("Titan"), test, cfg);
             for (const auto &[key, count] : hist.counts()) {
-                if (count > 0)
+                if (count > 0) {
                     EXPECT_TRUE(exact.reachable(key))
                         << file << " seed " << seed << ": sampled '"
                         << key << "' escaped the exploration";
+                }
             }
         }
     }
@@ -289,10 +290,11 @@ TEST(ShardDiff, ScenarioSampledOutcomesSubsetOfExact)
             litmus::Histogram hist =
                 harness::run(sim::chip("TesC"), built->test, cfg);
             for (const auto &[key, count] : hist.counts()) {
-                if (count > 0)
+                if (count > 0) {
                     EXPECT_TRUE(exact.reachable(key))
                         << spec << " seed " << seed << ": sampled '"
                         << key << "' escaped the exploration";
+                }
             }
         }
     }

@@ -44,13 +44,19 @@
  *                                        tests, chips, models and
  *                                        backends
  *   gpulitmus show <file.litmus>         parse and pretty-print
+ *   gpulitmus lint <tests...> [--json]   static race & fence
+ *                                        analysis (docs/ANALYSIS.md):
+ *                                        proven-racy / possibly-racy
+ *                                        / proven-ordered per pair
+ *                                        with file:line diagnostics;
+ *                                        exit 2 on proven-racy
  *   gpulitmus sass <file.litmus> [-O N] [--sdk V] [--maxwell]
  *                                        assemble + optcheck
- *   gpulitmus generate [--max-edges N] [--max-tests N]
+ *   gpulitmus generate [--max-edges N] [--max-tests N] [--steer]
  *                                        diy-style test generation
  *                                        (stdout)
  *   gpulitmus gen --out DIR [--max-edges N] [--max-tests N]
- *            [--min-edges N] [--no-scopes] [--no-deps]
+ *            [--min-edges N] [--no-scopes] [--no-deps] [--steer]
  *                                        write the generated corpus
  *                                        to .litmus files (cycle
  *                                        name, scope tree and final
@@ -104,6 +110,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/race.h"
 #include "cat/models.h"
 #include "common/strutil.h"
 #include "common/version.h"
@@ -219,7 +226,10 @@ loadTest(const std::string &arg)
     litmus::ParseError err;
     auto test = litmus::parseTest(buffer.str(), &err);
     if (!test) {
-        std::cerr << "error: " << arg << ": " << err.message << "\n";
+        std::cerr << "error: " << arg;
+        if (err.line > 0)
+            std::cerr << ":" << err.line;
+        std::cerr << ": " << err.message << "\n";
         return std::nullopt;
     }
     return LoadedTest{std::move(*test), 0};
@@ -1011,6 +1021,45 @@ cmdShow(const Args &args)
     return 0;
 }
 
+/**
+ * `gpulitmus lint <tests...> [--json]` — static race & fence
+ * analysis (docs/ANALYSIS.md). Classifies every cross-thread
+ * conflicting pair as proven-racy / possibly-racy / proven-ordered
+ * with file:line diagnostics; exit 2 when any pair is proven racy.
+ */
+int
+cmdLint(const Args &args)
+{
+    if (args.positional.empty()) {
+        std::cerr << "usage: gpulitmus lint"
+                     " <file.litmus|scenario:name[,k=v...]>..."
+                     " [--json]\n";
+        return 1;
+    }
+    bool json = args.has("json");
+    bool any_proven = false;
+    std::string jout = "[";
+    for (size_t i = 0; i < args.positional.size(); ++i) {
+        const std::string &arg = args.positional[i];
+        auto loaded = loadTest(arg);
+        if (!loaded)
+            return 1;
+        analysis::Report rep = analysis::analyze(loaded->test);
+        any_proven = any_proven || rep.anyProven();
+        if (json) {
+            if (i)
+                jout += ",";
+            jout += "{\"source\":\"" + jsonEscape(arg) +
+                    "\",\"report\":" + rep.json() + "}";
+        } else {
+            std::cout << arg << ": " << rep.str();
+        }
+    }
+    if (json)
+        std::cout << jout << "]\n";
+    return any_proven ? 2 : 0;
+}
+
 int
 cmdSass(const Args &args)
 {
@@ -1040,10 +1089,14 @@ cmdGenerate(const Args &args)
     opts.maxEdges = static_cast<int>(args.getInt("max-edges", 4));
     opts.maxTests =
         static_cast<size_t>(args.getInt("max-tests", 20));
+    opts.steer = args.has("steer");
     auto tests = gen::generate(gen::defaultPool(), opts);
     for (const auto &g : tests) {
-        std::cout << "(* cycle: " << g.cycleName << " *)\n"
-                  << g.test.str() << "\n";
+        std::cout << "(* cycle: " << g.cycleName << " *)\n";
+        if (g.predictedRacyPairs >= 0)
+            std::cout << "(* predicted racy pairs: "
+                      << g.predictedRacyPairs << " *)\n";
+        std::cout << g.test.str() << "\n";
     }
     std::cerr << tests.size() << " tests generated\n";
     return 0;
@@ -1084,6 +1137,7 @@ cmdGen(const Args &args)
         static_cast<size_t>(args.getInt("max-tests", 50));
     bool scopes = !args.has("no-scopes");
     bool deps = !args.has("no-deps");
+    opts.steer = args.has("steer");
     auto tests = gen::generate(gen::defaultPool(scopes, deps), opts);
 
     std::error_code ec;
@@ -1103,7 +1157,11 @@ cmdGen(const Args &args)
             std::cerr << "error: cannot write '" << path << "'\n";
             return 1;
         }
-        f << "(* cycle: " << g.cycleName << " *)\n" << g.test.str();
+        f << "(* cycle: " << g.cycleName << " *)\n";
+        if (g.predictedRacyPairs >= 0)
+            f << "(* predicted racy pairs: " << g.predictedRacyPairs
+              << " *)\n";
+        f << g.test.str();
         ++written;
         std::cout << path << "\n";
     }
@@ -1630,6 +1688,8 @@ dispatch(const std::string &cmd, const Args &args)
         return cmdList(args);
     if (cmd == "show")
         return cmdShow(args);
+    if (cmd == "lint")
+        return cmdLint(args);
     if (cmd == "sass")
         return cmdSass(args);
     if (cmd == "generate")
@@ -1658,8 +1718,9 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::cerr
             << "usage: gpulitmus"
-               " <run|sweep|check|validate|explore|list|show|sass|"
-               "generate|gen|chips|models|serve|submit|status> ...\n";
+               " <run|sweep|check|validate|explore|list|show|lint|"
+               "sass|generate|gen|chips|models|serve|submit|status>"
+               " ...\n";
         return 1;
     }
     std::string cmd = argv[1];
